@@ -1,0 +1,165 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. **ACK accounting** — Figure 4's ratio with and without counting ACK
+   messages against the reference algorithm (the paper counts data
+   messages; ACKs roughly double the baseline's cost).
+2. **Interval count U** — convergence effort as a function of the
+   Bayesian resolution (the paper uses U=100 and proposes dynamic U as
+   future work).
+3. **Convergence tolerance** — sensitivity of the Figure 5 metric to the
+   criterion (the paper leaves the criterion unspecified; this quantifies
+   how much that choice moves the absolute numbers).
+4. **Crash model** — i.i.d. step crashes (the paper's definition) vs
+   bursty Markov outages with the same stationary down fraction.
+"""
+
+import pytest
+
+from repro.analysis.convergence import ConvergenceCriterion
+from repro.experiments.figure4 import figure4_point
+from repro.experiments.figure5 import convergence_messages_per_link
+from repro.experiments.runner import QUICK, make_network, scaled
+from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.knowledge import KnowledgeParameters
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.network import NetworkOptions
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular
+from repro.util.tables import Series, SeriesTable
+
+SCALE = scaled(QUICK, n=16, trials=6, calibration_trials=20, k_target=0.95)
+
+
+def test_ack_accounting_ablation(benchmark, record):
+    """Counting ACKs roughly doubles the reference algorithm's cost."""
+
+    def run():
+        without = figure4_point(4, 0.0, 0.03, SCALE, count_acks=False)
+        with_acks = figure4_point(4, 0.0, 0.03, SCALE, count_acks=True)
+        return without, with_acks
+
+    without, with_acks = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = SeriesTable(
+        title="Ablation - ACK accounting (connectivity 4, L=0.03)",
+        x_label="connectivity",
+    )
+    s1 = Series("ratio (data only)")
+    s1.add(4, without["ratio"])
+    s2 = Series("ratio (data+acks)")
+    s2.add(4, with_acks["ratio"])
+    table.add_series(s1)
+    table.add_series(s2)
+    record("Ablation ACKs", "reference/optimal ratio with vs without ACKs", table)
+    assert with_acks["ratio"] > without["ratio"] * 1.5
+
+
+def test_interval_count_ablation(benchmark, record):
+    """Convergence effort vs the Bayesian resolution U."""
+    graph = k_regular(12, 4)
+    config = Configuration.uniform(graph, loss=0.03)
+
+    def run():
+        results = []
+        for intervals in (20, 50, 100):
+            params = AdaptiveParameters(
+                knowledge=KnowledgeParameters(delta=1.0, intervals=intervals)
+            )
+            effort = convergence_messages_per_link(
+                graph,
+                config,
+                ("ablate-u", intervals),
+                deadline=4000.0,
+                params=params,
+                criterion=ConvergenceCriterion(point_tolerance=0.025),
+                strict=False,
+            )
+            results.append((intervals, effort))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = SeriesTable(
+        title="Ablation - Bayesian interval count U (k=4, L=0.03)",
+        x_label="intervals U",
+    )
+    series = Series("messages/link to converge")
+    for intervals, effort in results:
+        series.add(intervals, None if effort == float("inf") else effort)
+    table.add_series(series)
+    record("Ablation U", "convergence effort vs belief resolution", table)
+    assert any(y is not None for y in series.ys)
+
+
+def test_convergence_tolerance_ablation(benchmark, record):
+    """The absolute Figure 5 numbers depend on the (unspecified) criterion."""
+    graph = k_regular(12, 4)
+    config = Configuration.uniform(graph, loss=0.03)
+
+    def run():
+        out = []
+        for tol in (0.01, 0.02, 0.04):
+            effort = convergence_messages_per_link(
+                graph,
+                config,
+                ("ablate-tol", tol),
+                deadline=6000.0,
+                criterion=ConvergenceCriterion(point_tolerance=tol),
+                strict=False,
+            )
+            out.append((tol, effort))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = SeriesTable(
+        title="Ablation - convergence tolerance (k=4, L=0.03)",
+        x_label="point tolerance",
+    )
+    series = Series("messages/link")
+    for tol, effort in results:
+        series.add(tol, None if effort == float("inf") else effort)
+    table.add_series(series)
+    record("Ablation tolerance", "criterion sensitivity of Figure 5", table)
+    finite = [y for y in series.ys if y is not None]
+    # looser tolerance -> no more effort
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_crash_model_ablation(benchmark, record):
+    """i.i.d. step crashes vs bursty Markov outages (same down fraction)."""
+    graph = k_regular(12, 4)
+    config = Configuration.uniform(graph, crash=0.03)
+
+    def run_with(model):
+        network = make_network(
+            config,
+            ("ablate-crash", model),
+            options=NetworkOptions(crash_model=model),
+        )
+        monitor = BroadcastMonitor(graph.n)
+        params = AdaptiveParameters(
+            knowledge=KnowledgeParameters(delta=1.0, intervals=100)
+        )
+        nodes = [
+            AdaptiveBroadcast(p, network, monitor, 0.95, params)
+            for p in graph.processes
+        ]
+        network.start()
+        network.sim.run(until=600.0)
+        # mean absolute error of self estimates vs P
+        return sum(
+            abs(n.view.crash_probability(n.pid) - 0.03) for n in nodes
+        ) / len(nodes)
+
+    def run():
+        return run_with("iid"), run_with("markov")
+
+    iid_err, markov_err = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = SeriesTable(
+        title="Ablation - crash model (P=0.03, 600 ticks)",
+        x_label="model (0=iid, 1=markov)",
+    )
+    series = Series("self-estimate MAE")
+    series.add(0, iid_err)
+    series.add(1, markov_err)
+    table.add_series(series)
+    record("Ablation crash model", "self-estimation error, iid vs markov", table)
+    assert iid_err < 0.05  # the paper's model estimates P well

@@ -1,0 +1,40 @@
+"""Figure 1 — adaptive vs traditional gossip message ratio (analytic).
+
+Regenerates the ``k1/k0`` curves for L in {1e-2, 1e-3, 1e-4} over
+alpha in [1, 10] and benchmarks the closed-form computation.
+"""
+
+import pytest
+
+from repro.analysis.two_paths import message_ratio, simulate_two_paths
+from repro.experiments.figure1 import figure1_table
+from repro.util.rng import RandomSource
+
+
+def test_figure1_regeneration(benchmark, record):
+    table = benchmark(figure1_table)
+    record(
+        "Figure 1",
+        "two-path adaptive/gossip message ratio k1/k0 vs alpha",
+        table,
+        notes=(
+            "closed form k1/k0 = 0.5*log_L(alpha) + 1 (Appendix A); "
+            "paper anchors: ratio 1.0 at alpha=1, ~0.875 at alpha=10/L=1e-4"
+        ),
+    )
+    l4 = next(s for s in table.series if s.name == "L=0.0001")
+    assert l4.as_dict()[10.0] == pytest.approx(0.875, abs=1e-3)
+
+
+def test_figure1_monte_carlo_crosscheck(benchmark):
+    """The analytic curve is validated by simulation at one point."""
+
+    def simulate():
+        return simulate_two_paths(
+            0.01, 4.0, 6, "gossip", RandomSource("bench-fig1"), trials=5000
+        )
+
+    simulated = benchmark(simulate)
+    from repro.analysis.two_paths import gossip_reach
+
+    assert simulated == pytest.approx(gossip_reach(0.01, 4.0, 6), abs=0.01)

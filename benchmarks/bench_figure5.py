@@ -1,0 +1,77 @@
+"""Figure 5 — convergence effort of the adaptive protocol.
+
+Regenerates both panels: 5(a) varies P with L=0; 5(b) varies L with P=0.
+y = heartbeat messages per link until every process has learned the
+reliability probabilities (see DESIGN.md §3 notes 3/5 for the criterion).
+
+Expected shape (paper, n=100): a few hundred messages/link; the
+zero-probability curves converge fastest (topology + trivial inference),
+larger probabilities take longer, and in 5(b) the L=0.05 curve is the
+slowest (links are numerous and lossy links are harder to pin down).
+"""
+
+import pytest
+
+from repro.experiments.figure5 import figure5_table
+from repro.experiments.runner import scaled
+
+#: Trimmed value sets keep default runs in minutes; full scale uses the
+#: paper's four curves per panel.
+BENCH_CRASH_VALUES = {"quick": (0.0, 0.03), "default": (0.0, 0.01, 0.03)}
+BENCH_LOSS_VALUES = {"quick": (0.0, 0.03), "default": (0.0, 0.01, 0.03)}
+
+
+def _tuned(scale):
+    if scale.name == "full":
+        return scale, None, None
+    trimmed = scaled(
+        scale,
+        connectivities=tuple(k for k in scale.connectivities if k <= 12),
+    )
+    return (
+        trimmed,
+        BENCH_CRASH_VALUES[scale.name],
+        BENCH_LOSS_VALUES[scale.name],
+    )
+
+
+def test_figure5a_crash_variant(benchmark, record, scale):
+    tuned, crash_values, _ = _tuned(scale)
+    table = benchmark.pedantic(
+        lambda: figure5_table(
+            variant="crash", scale=tuned, values=crash_values, trials=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "Figure 5a",
+        "messages/link until convergence (L=0, P varies)",
+        table,
+        notes="P=0 converges fastest; effort grows with P",
+    )
+    for series in table.series:
+        assert all(y is not None and y > 0 for y in series.ys)
+    zero = next(s for s in table.series if s.name == "P=0")
+    worst = table.series[-1]
+    assert min(zero.ys) <= min(worst.ys)
+
+
+def test_figure5b_loss_variant(benchmark, record, scale):
+    tuned, _, loss_values = _tuned(scale)
+    table = benchmark.pedantic(
+        lambda: figure5_table(
+            variant="loss", scale=tuned, values=loss_values, trials=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "Figure 5b",
+        "messages/link until convergence (P=0, L varies)",
+        table,
+        notes="paper: ~400 msgs/link at connectivity 6, L=0.05 (n=100)",
+    )
+    zero = next(s for s in table.series if s.name == "L=0")
+    worst = table.series[-1]
+    assert min(zero.ys) <= min(worst.ys)

@@ -1,0 +1,34 @@
+"""Figure 6 — scalability: convergence effort vs system size.
+
+Regenerates the ring-vs-random-tree comparison.  Expected shape (paper,
+n=100..240): the ring's messages/link grows roughly linearly with n
+(information traverses ~n/2 hops), while random trees stay nearly flat.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import figure6_table
+
+
+def test_figure6_scalability(benchmark, record, scale):
+    table = benchmark.pedantic(
+        lambda: figure6_table(scale=scale, trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        "Figure 6",
+        "messages/link until convergence vs number of processes",
+        table,
+        notes="ring grows with n; random tree stays nearly constant",
+    )
+    ring = next(s for s in table.series if s.name == "ring")
+    tree = next(s for s in table.series if s.name == "tree")
+    # ring effort grows from the smallest to the largest system
+    assert ring.ys[-1] > ring.ys[0]
+    # at the largest size, the ring costs more than the tree
+    assert ring.ys[-1] > tree.ys[-1]
+    # the tree curve grows much slower than the ring curve
+    ring_growth = ring.ys[-1] / ring.ys[0]
+    tree_growth = tree.ys[-1] / max(tree.ys[0], 1e-9)
+    assert tree_growth < ring_growth

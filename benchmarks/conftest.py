@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+resulting data series (so ``pytest benchmarks/ --benchmark-only`` output
+contains the figures), and persists text+JSON artefacts under
+``benchmarks/results/``.
+
+Scale control: set ``REPRO_BENCH_SCALE`` to ``quick`` / ``default`` /
+``full`` (paper-sized: n=100, K=0.9999) before running.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.report import ExperimentRecord, ReportWriter
+from repro.experiments.runner import current_scale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def report():
+    return ReportWriter(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def record(report, scale):
+    """Persist and print one regenerated experiment."""
+
+    def _record(experiment_id, description, table, notes=""):
+        entry = ExperimentRecord(
+            experiment_id=experiment_id,
+            description=description,
+            scale=scale.name,
+            table=table,
+            notes=notes,
+        )
+        report.add(entry)
+        print()
+        print(entry.render())
+        return entry
+
+    return _record

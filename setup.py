@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+Allows ``python setup.py develop`` / editable installs in offline
+environments that lack the ``wheel`` package (PEP 660 editable builds
+require it); all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

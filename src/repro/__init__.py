@@ -1,0 +1,149 @@
+"""repro — adaptive MRT-based probabilistic reliable broadcast.
+
+A from-scratch reproduction of *"An Adaptive Algorithm for Efficient
+Message Diffusion in Unreliable Environments"* (Garbinato, Pedone &
+Schmidt, DSN 2004 / EPFL TR IC/2004/30): the optimal Maximum-Reliability-
+Tree broadcast, the Bayesian adaptive protocol that converges to it, the
+reference gossip baseline, and the discrete-event simulation substrate
+the paper evaluates on.
+
+Quickstart::
+
+    from repro import (
+        Configuration, k_regular, maximum_reliability_tree, optimize,
+    )
+
+    graph = k_regular(20, 4)
+    config = Configuration.uniform(graph, crash=0.0, loss=0.03)
+    tree = maximum_reliability_tree(graph, config, root=0)
+    plan = optimize(tree, k_target=0.9999, view=config)
+    print(plan.total_messages, plan.achieved)
+
+See ``examples/`` for full simulated runs and ``benchmarks/`` for the
+regeneration of every table and figure of the paper.
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceCriterion,
+    estimate_errors,
+    learnable_link_probability,
+    views_converged,
+)
+from repro.analysis.optimality import is_maximum_spanning_tree, verify_adaptiveness
+from repro.analysis.two_paths import message_ratio, ratio_series
+from repro.core.adaptive import (
+    AdaptiveBroadcast,
+    AdaptiveParameters,
+    HeartbeatMessage,
+    PiggybackedData,
+)
+from repro.core.bayesian import BeliefEstimator
+from repro.core.refinement import AdaptiveResolutionEstimator
+from repro.core.broadcast import DataMessage, ReliableBroadcastProcess
+from repro.core.estimates import Estimate, select_best_estimate
+from repro.core.knowledge import KnowledgeParameters, ProcessView
+from repro.core.mrt import maximum_reliability_tree
+from repro.core.optimal import OptimalBroadcast
+from repro.core.optimize import OptimizeResult, optimize, optimize_bruteforce
+from repro.core.reach import reach, reach_recursive, transmission_lambda
+from repro.core.tree import SpanningTree
+from repro.core.viewtable import VectorView
+from repro.errors import ReproError
+from repro.protocols.flooding import FloodingBroadcast
+from repro.protocols.gossip import GossipBroadcast, GossipParameters, calibrate_rounds
+from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
+from repro.sim.engine import Simulator
+from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
+from repro.sim.network import Network, NetworkOptions
+from repro.sim.process import SimProcess
+from repro.sim.trace import MessageCategory, MessageStats
+from repro.topology.configuration import Configuration
+from repro.topology.generators import (
+    clique,
+    grid,
+    k_regular,
+    line,
+    random_connected,
+    random_tree,
+    ring,
+    scale_free,
+    small_world,
+    star,
+    two_tier,
+)
+from repro.topology.graph import Graph
+from repro.types import Link, ProcessId
+from repro.util.rng import RandomSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # topology
+    "Graph",
+    "Link",
+    "ProcessId",
+    "Configuration",
+    "ring",
+    "line",
+    "star",
+    "clique",
+    "grid",
+    "k_regular",
+    "random_tree",
+    "random_connected",
+    "small_world",
+    "scale_free",
+    "two_tier",
+    # core algorithms
+    "SpanningTree",
+    "maximum_reliability_tree",
+    "reach",
+    "reach_recursive",
+    "transmission_lambda",
+    "optimize",
+    "optimize_bruteforce",
+    "OptimizeResult",
+    "BeliefEstimator",
+    "Estimate",
+    "select_best_estimate",
+    "KnowledgeParameters",
+    "ProcessView",
+    "VectorView",
+    # protocols
+    "ReliableBroadcastProcess",
+    "DataMessage",
+    "HeartbeatMessage",
+    "OptimalBroadcast",
+    "AdaptiveBroadcast",
+    "AdaptiveParameters",
+    "PiggybackedData",
+    "AdaptiveResolutionEstimator",
+    "GossipBroadcast",
+    "GossipParameters",
+    "calibrate_rounds",
+    "FloodingBroadcast",
+    "TwoPhaseBroadcast",
+    "TwoPhaseParameters",
+    # simulation
+    "Simulator",
+    "Network",
+    "NetworkOptions",
+    "SimProcess",
+    "MessageCategory",
+    "MessageStats",
+    "BroadcastMonitor",
+    "ConvergenceMonitor",
+    # analysis
+    "message_ratio",
+    "ratio_series",
+    "ConvergenceCriterion",
+    "views_converged",
+    "estimate_errors",
+    "learnable_link_probability",
+    "is_maximum_spanning_tree",
+    "verify_adaptiveness",
+    # misc
+    "RandomSource",
+    "ReproError",
+    "__version__",
+]

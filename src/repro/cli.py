@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure1
+    python -m repro table1
+    python -m repro figure4a --scale quick
+    python -m repro figure5b --scale default --out results/
+    python -m repro figure6 --scale full
+    python -m repro demo                     # 30-second end-to-end demo
+
+Each experiment prints the regenerated data series (the same rows the
+paper plots) and, with ``--out``, writes text/JSON artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.figure1 import figure1_table
+from repro.experiments.figure4 import figure4_table
+from repro.experiments.figure5 import figure5_table
+from repro.experiments.figure6 import figure6_table
+from repro.experiments.heterogeneous import heterogeneity_table
+from repro.experiments.report import ExperimentRecord, ReportWriter
+from repro.experiments.runner import ExperimentScale, current_scale
+from repro.experiments.table1 import table1_render
+from repro.util.tables import SeriesTable
+
+_EXPERIMENTS: Dict[str, str] = {
+    "figure1": "two-path adaptive/gossip ratio (analytic, exact)",
+    "table1": "Bayesian belief adaptation (exact)",
+    "figure4a": "reference/optimal message ratio, crashes (simulated)",
+    "figure4b": "reference/optimal message ratio, losses (simulated)",
+    "figure5a": "convergence effort, crashes (simulated)",
+    "figure5b": "convergence effort, losses (simulated)",
+    "figure6": "scalability: ring vs random tree (simulated)",
+    "heterogeneous": "extension: uniform vs heterogeneous environments",
+}
+
+
+def _build(name: str, scale: ExperimentScale) -> SeriesTable:
+    builders: Dict[str, Callable[[], SeriesTable]] = {
+        "figure1": figure1_table,
+        "figure4a": lambda: figure4_table(variant="crash", scale=scale),
+        "figure4b": lambda: figure4_table(variant="loss", scale=scale),
+        "figure5a": lambda: figure5_table(variant="crash", scale=scale),
+        "figure5b": lambda: figure5_table(variant="loss", scale=scale),
+        "figure6": lambda: figure6_table(scale=scale),
+        "heterogeneous": lambda: heterogeneity_table(scale=scale),
+    }
+    return builders[name]()
+
+
+def _run_demo() -> int:
+    """A self-contained optimal-vs-gossip comparison (quickstart-sized)."""
+    from repro import (
+        BroadcastMonitor,
+        Configuration,
+        GossipBroadcast,
+        GossipParameters,
+        MessageCategory,
+        Network,
+        OptimalBroadcast,
+        RandomSource,
+        Simulator,
+        k_regular,
+    )
+
+    graph = k_regular(30, 6)
+    config = Configuration.uniform(graph, loss=0.03)
+    results = {}
+    for label, factory in (
+        ("optimal", lambda net, mon: [
+            OptimalBroadcast(p, net, mon, 0.99) for p in graph.processes
+        ]),
+        ("gossip", lambda net, mon: [
+            GossipBroadcast(p, net, mon, 0.99, GossipParameters(rounds=4))
+            for p in graph.processes
+        ]),
+    ):
+        sim = Simulator()
+        network = Network(sim, config, RandomSource("cli-demo", label))
+        monitor = BroadcastMonitor(graph.n)
+        nodes = factory(network, monitor)
+        network.start()
+        mid = nodes[0].broadcast("demo")
+        sim.run(until=10.0)
+        results[label] = (
+            network.stats.sent(MessageCategory.DATA),
+            monitor.delivery_ratio(mid),
+        )
+    print("30 processes, connectivity 6, L=0.03, K=0.99")
+    for label, (messages, ratio) in results.items():
+        print(f"  {label:8s}: {messages:4d} data messages, delivery {ratio:.3f}")
+    advantage = results["gossip"][0] / max(results["optimal"][0], 1)
+    print(f"  gossip/optimal message ratio: {advantage:.2f}x")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the experiments of 'An Adaptive Algorithm for "
+            "Efficient Message Diffusion in Unreliable Environments' "
+            "(DSN 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("demo", help="30-second optimal-vs-gossip demo")
+    for name, description in _EXPERIMENTS.items():
+        cmd = sub.add_parser(name, help=description)
+        cmd.add_argument(
+            "--scale",
+            choices=["quick", "default", "full"],
+            default=None,
+            help="experiment size preset (default: REPRO_BENCH_SCALE or 'default')",
+        )
+        cmd.add_argument(
+            "--out",
+            metavar="DIR",
+            default=None,
+            help="also write text/JSON artefacts to DIR",
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in _EXPERIMENTS)
+        for name, description in _EXPERIMENTS.items():
+            print(f"  {name:<{width}}  {description}")
+        return 0
+    if args.command == "demo":
+        return _run_demo()
+
+    scale = current_scale(args.scale)
+    if args.command == "table1":
+        text = table1_render()
+        print(text)
+        if args.out:
+            writer = ReportWriter(args.out)
+            with open(f"{args.out}/table_1.txt", "w") as fh:
+                fh.write(text + "\n")
+        return 0
+
+    table = _build(args.command, scale)
+    print(table.render())
+    if args.out:
+        writer = ReportWriter(args.out)
+        writer.add(
+            ExperimentRecord(
+                experiment_id=args.command,
+                description=_EXPERIMENTS[args.command],
+                scale=scale.name,
+                table=table,
+            )
+        )
+        print(f"\nartefacts written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

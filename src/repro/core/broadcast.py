@@ -1,0 +1,102 @@
+"""Shared base for probabilistic reliable broadcast processes.
+
+Defines the ``broadcast(m)`` / ``deliver(m)`` interface of Section 2.2 and
+the message types that transit the simulated network.  The paper does not
+require exactly-once delivery; the base class still deduplicates by
+message id (the standard "first time" guard of Algorithm 1, line 5) but
+keeps the seen-set in volatile memory semantics out of scope, exactly as
+the paper does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.core.tree import SpanningTree
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.types import ProcessId
+from repro.util.validation import check_open_probability
+
+MessageId = Tuple[ProcessId, int]
+"""Broadcast identifier: ``(origin process, origin-local sequence)``."""
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """An application message propagated down an MRT (Algorithm 1).
+
+    Attributes:
+        mid: broadcast identifier.
+        payload: opaque application payload.
+        tree: the sender's ``mrt_j`` — receivers forward along *this* tree
+            (Algorithm 1, line 6 propagates with the received ``mrt_j``).
+        counts: the optimised ``~m_j``.  Receivers may instead recompute it
+            from ``tree`` and ``k_target`` (Algorithm 1 line 9 recomputes;
+            the result is identical since ``optimize`` is deterministic —
+            carrying the vector just saves CPU, see OptimalBroadcast).
+        k_target: the reliability target ``K``.
+    """
+
+    mid: MessageId
+    payload: Any
+    tree: SpanningTree
+    counts: Dict[ProcessId, int]
+    k_target: float
+
+
+class ReliableBroadcastProcess(SimProcess):
+    """Base class implementing delivery bookkeeping for broadcast protocols.
+
+    Args:
+        pid: process id.
+        network: simulated network.
+        monitor: shared delivery monitor (one per experiment run).
+        k_target: reliability target ``K`` in (0, 1).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        monitor: BroadcastMonitor,
+        k_target: float = 0.99,
+    ) -> None:
+        super().__init__(pid, network)
+        check_open_probability(k_target, "k_target")
+        self.monitor = monitor
+        self.k_target = k_target
+        self._delivered: Set[Hashable] = set()
+        self._mid_counter = itertools.count()
+
+    # -- deliver path ---------------------------------------------------------------
+
+    def has_delivered(self, mid: Hashable) -> bool:
+        return mid in self._delivered
+
+    def deliver(self, mid: Hashable, payload: Any) -> bool:
+        """Deliver a broadcast once; returns whether this was the first time."""
+        if mid in self._delivered:
+            return False
+        self._delivered.add(mid)
+        self.monitor.delivered(mid, self.pid, self.now)
+        self.on_deliver(mid, payload)
+        return True
+
+    def next_message_id(self) -> MessageId:
+        return (self.pid, next(self._mid_counter))
+
+    # -- subclass API ----------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> MessageId:
+        """Initiate a reliable broadcast of ``payload``.
+
+        Subclasses must override.
+        """
+        raise NotImplementedError
+
+    def on_deliver(self, mid: Hashable, payload: Any) -> None:
+        """Hook invoked on first delivery of each broadcast."""

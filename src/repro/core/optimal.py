@@ -1,0 +1,117 @@
+"""The optimal probabilistic reliable broadcast (Section 3, Algorithm 1).
+
+Every process knows the true topology ``G`` and configuration ``C``.  To
+broadcast, a process builds its Maximum Reliability Tree, optimises the
+per-link copy counts for the target ``K`` and pushes the copies down the
+tree; receivers forward along the *received* tree from their own position
+(the ``S_{j,k}`` of Algorithm 1, line 10) and deliver.
+
+Of theoretical interest on its own (Theorem 1: it is optimal w.r.t. the
+number of messages), it is also the behavioural target the adaptive
+algorithm converges to, and the "Optimal algorithm" denominator of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.broadcast import DataMessage, MessageId, ReliableBroadcastProcess
+from repro.core.mrt import maximum_reliability_tree
+from repro.core.optimize import OptimizeResult, optimize
+from repro.core.tree import ReliabilityView, SpanningTree
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.network import Network
+from repro.sim.trace import MessageCategory
+from repro.types import ProcessId
+
+
+class OptimalBroadcast(ReliableBroadcastProcess):
+    """Algorithm 1 with perfect knowledge of ``(G, C)``.
+
+    Args:
+        pid: process id.
+        network: simulated network (its ``config`` is the perfect
+            knowledge this algorithm assumes).
+        monitor: delivery monitor.
+        k_target: reliability target ``K``.
+        recompute_at_receiver: if True, receivers re-run ``optimize`` on
+            the received tree (Algorithm 1 line 9, literally) instead of
+            using the carried vector.  Both paths give identical counts —
+            ``optimize`` is deterministic — and a test asserts so; the
+            default avoids the redundant CPU.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        monitor: BroadcastMonitor,
+        k_target: float = 0.99,
+        recompute_at_receiver: bool = False,
+    ) -> None:
+        super().__init__(pid, network, monitor, k_target)
+        self.recompute_at_receiver = recompute_at_receiver
+        self._view: ReliabilityView = network.config
+
+    # -- plan construction ------------------------------------------------------------
+
+    def build_plan(self) -> OptimizeResult:
+        """Compute ``(mrt_k, ~m)`` for a broadcast rooted at this process."""
+        tree = maximum_reliability_tree(
+            self.network.graph, self._view, root=self.pid
+        )
+        return optimize(tree, self.k_target, self._view)
+
+    def plan_tree(self) -> SpanningTree:
+        return maximum_reliability_tree(
+            self.network.graph, self._view, root=self.pid
+        )
+
+    # -- Algorithm 1 --------------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> MessageId:
+        """Lines 1-4: build ``mrt_k``, propagate, deliver."""
+        tree = self.plan_tree()
+        result = optimize(tree, self.k_target, self._view)
+        mid = self.next_message_id()
+        message = DataMessage(
+            mid=mid,
+            payload=payload,
+            tree=tree,
+            counts=result.counts,
+            k_target=self.k_target,
+        )
+        self._propagate(message)
+        self.deliver(mid, payload)
+        return mid
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        """Lines 5-7: first reception triggers forwarding + delivery."""
+        if not isinstance(payload, DataMessage):
+            return
+        if self.has_delivered(payload.mid):
+            return
+        self._propagate(payload)
+        self.deliver(payload.mid, payload.payload)
+
+    def _propagate(self, message: DataMessage) -> None:
+        """Lines 8-12: send ``~m[i]`` copies to each direct subtree root.
+
+        ``S_{j,k}`` — the direct subtrees of *this* process within the
+        message's tree; a process outside the tree (possible only with
+        stale adaptive trees, never here) forwards nothing.
+        """
+        tree = message.tree
+        if not tree.contains(self.pid):
+            return
+        counts = (
+            optimize(tree, message.k_target, self._view).counts
+            if self.recompute_at_receiver
+            else message.counts
+        )
+        for child in tree.children(self.pid):
+            copies = counts.get(child, 1)
+            self.send_copies(
+                child, message, copies, category=MessageCategory.DATA
+            )

@@ -1,0 +1,154 @@
+"""The ``reach`` function (Equations 1 and 2 of the paper).
+
+Given a rooted tree ``T_s`` and a message-count vector ``m`` (how many
+copies transit each tree link), ``reach`` is the probability that *every*
+process in the tree receives at least one copy.  With
+
+``lambda_j = 1 - (1 - P_pred(j)) (1 - L_j) (1 - P_j)``
+
+(the probability that a single copy fails to arrive at ``p_j``), the
+probability ``p_j`` gets at least one of its ``m_j`` copies is
+``1 - lambda_j ** m_j`` and the tree-wide probability is the product over
+all non-root nodes (Eq. 2).
+
+Both the recursive form of Eq. 1 and the iterative form of Eq. 2 are
+implemented; tests assert they agree (they are algebraically identical —
+Eq. 1 is the tail-recursive expansion over direct subtrees).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from repro.errors import ValidationError
+from repro.core.tree import ReliabilityView, SpanningTree
+from repro.types import Link, ProcessId
+
+
+def transmission_lambda(
+    view: ReliabilityView, sender: ProcessId, receiver: ProcessId
+) -> float:
+    """``lambda`` for one copy from ``sender`` to ``receiver``.
+
+    ``1 - (1-P_sender)(1-L)(1-P_receiver)`` — probability the copy is lost
+    to a sender crashed step, a link loss, or a receiver crashed step.
+    """
+    link = Link.of(sender, receiver)
+    return 1.0 - (
+        (1.0 - view.crash_probability(sender))
+        * (1.0 - view.loss_probability(link))
+        * (1.0 - view.crash_probability(receiver))
+    )
+
+
+def _validated_counts(
+    tree: SpanningTree, counts: Mapping[ProcessId, int]
+) -> Dict[ProcessId, int]:
+    out: Dict[ProcessId, int] = {}
+    for j in tree.non_root_nodes:
+        m = counts.get(j)
+        if m is None:
+            raise ValidationError(f"no message count for tree node {j}")
+        if not isinstance(m, int) or isinstance(m, bool) or m < 0:
+            raise ValidationError(f"message count for node {j} must be an int >= 0")
+        out[j] = m
+    return out
+
+
+def reach(
+    tree: SpanningTree,
+    counts: Mapping[ProcessId, int],
+    view: ReliabilityView,
+) -> float:
+    """Iterative ``reach`` (Eq. 2): product over non-root nodes.
+
+    Args:
+        tree: the (relabelled) MRT ``T_s``.
+        counts: ``m_j`` per non-root node ``j`` (copies sent over ``l_j``).
+        view: reliability provider (true or estimated configuration).
+
+    Returns:
+        Probability that all tree nodes receive the message.
+    """
+    m = _validated_counts(tree, counts)
+    lambdas = tree.lambdas(view)
+    prob = 1.0
+    for j in tree.non_root_nodes:
+        prob *= 1.0 - lambdas[j] ** m[j]
+    return prob
+
+
+def log_reach(
+    tree: SpanningTree,
+    counts: Mapping[ProcessId, int],
+    view: ReliabilityView,
+) -> float:
+    """``log(reach)`` computed stably in log space.
+
+    Useful for very large trees / very small per-node probabilities where
+    the plain product would underflow.  Returns ``-inf`` when any node has
+    zero probability of being reached.
+    """
+    m = _validated_counts(tree, counts)
+    lambdas = tree.lambdas(view)
+    total = 0.0
+    for j in tree.non_root_nodes:
+        term = 1.0 - lambdas[j] ** m[j]
+        if term <= 0.0:
+            return -math.inf
+        total += math.log(term)
+    return total
+
+
+def reach_recursive(
+    tree: SpanningTree,
+    counts: Mapping[ProcessId, int],
+    view: ReliabilityView,
+) -> float:
+    """Recursive ``reach`` (Eq. 1): per-direct-subtree expansion.
+
+    Provided for fidelity with the paper and as a differential-testing
+    oracle for :func:`reach`; it computes the same value.
+    """
+    m = _validated_counts(tree, counts)
+    lambdas = tree.lambdas(view)
+
+    def rec(node: ProcessId) -> float:
+        prob = 1.0
+        for child in tree.children(node):
+            arrived = 1.0 - lambdas[child] ** m[child]
+            prob *= arrived * rec(child)
+        return prob
+
+    return rec(tree.root)
+
+
+def node_reach_probability(
+    tree: SpanningTree,
+    counts: Mapping[ProcessId, int],
+    view: ReliabilityView,
+    target: ProcessId,
+) -> float:
+    """Probability that one specific node receives the message.
+
+    The message must arrive at every ancestor on the root path, so this is
+    the product of ``1 - lambda_a ** m_a`` along that path.  (Not used by
+    the optimisation itself, but handy for diagnosing which subtree drags
+    the global reach down.)
+    """
+    if target == tree.root:
+        return 1.0
+    m = _validated_counts(tree, counts)
+    lambdas = tree.lambdas(view)
+    prob = 1.0
+    node = target
+    while node != tree.root:
+        prob *= 1.0 - lambdas[node] ** m[node]
+        node = tree.parent(node)
+    return prob
+
+
+def minimal_counts(tree: SpanningTree) -> Dict[ProcessId, int]:
+    """The all-ones starting vector of Algorithm 2."""
+    return {j: 1 for j in tree.non_root_nodes}

@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad probability, empty graph, ...)."""
+
+
+class TopologyError(ReproError):
+    """A topology-level invariant was violated."""
+
+
+class DisconnectedGraphError(TopologyError):
+    """The operation requires a connected graph but the graph is not."""
+
+
+class UnknownProcessError(TopologyError, KeyError):
+    """A process identifier is not part of the graph."""
+
+
+class UnknownLinkError(TopologyError, KeyError):
+    """A link identifier is not part of the graph."""
+
+
+class ConfigurationError(ReproError):
+    """A failure configuration is inconsistent with its graph."""
+
+
+class TreeError(ReproError):
+    """A spanning-tree invariant was violated."""
+
+
+class UnreachableTargetError(ReproError):
+    """The requested reliability ``K`` cannot be met on the given tree.
+
+    Raised by :func:`repro.core.optimize.optimize` when some link has a
+    per-message failure probability of exactly 1 (no number of
+    retransmissions can get a message across) or when the iteration budget
+    is exhausted before reaching ``K``.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated its operating contract."""
+
+
+class CalibrationError(ReproError):
+    """The baseline round calibration failed to reach the target reliability."""
+
+
+class ConvergenceTimeoutError(ReproError):
+    """An adaptive run did not converge within the allotted simulated time."""

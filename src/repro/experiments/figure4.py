@@ -1,0 +1,135 @@
+"""Figure 4 — reference gossip vs optimal algorithm message ratio.
+
+The paper varies network connectivity (k-neighbour graphs over 100
+processes) and plots the ratio
+
+    messages(reference gossip) / messages(optimal algorithm)
+
+for several crash probabilities with reliable links (Figure 4a) and
+several loss probabilities with reliable processes (Figure 4b).  Both
+algorithms must deliver to all processes with the same probability ``K``.
+
+* The **optimal** side is deterministic: ``sum(~m)`` from ``optimize``
+  over the MRT under the true configuration (the cost function of Eq. 3).
+* The **reference** side is empirical: gossip rounds are first calibrated
+  so the all-reached frequency meets ``K`` (the paper's "determined
+  interactively"), then data-message counts are averaged over measurement
+  trials.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.mrt import maximum_reliability_tree
+from repro.core.optimize import optimize
+from repro.experiments.runner import ExperimentScale, current_scale, make_network
+from repro.protocols.gossip import calibrate_rounds, run_gossip_trial
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular
+from repro.topology.graph import Graph
+from repro.util.stats import OnlineStats
+from repro.util.tables import Series, SeriesTable
+
+#: Probability values plotted in the paper for each variant.
+PAPER_CRASH_VALUES = (0.01, 0.03, 0.05, 0.07)
+PAPER_LOSS_VALUES = (0.01, 0.03, 0.05, 0.07)
+
+
+def optimal_messages(graph: Graph, config: Configuration, k_target: float) -> int:
+    """``c(~m)`` of the optimal algorithm (deterministic)."""
+    tree = maximum_reliability_tree(graph, config, root=0)
+    return optimize(tree, k_target, config).total_messages
+
+
+def reference_messages(
+    graph: Graph,
+    config: Configuration,
+    k_target: float,
+    scale: ExperimentScale,
+    seed_tag: str,
+    count_acks: bool = False,
+) -> Tuple[float, int]:
+    """Mean gossip data messages at the calibrated round budget.
+
+    Returns:
+        ``(mean_messages, rounds)``.
+    """
+    rounds = calibrate_rounds(
+        lambda t: make_network(config, "fig4-cal", seed_tag, t),
+        k_target=k_target,
+        trials=scale.calibration_trials,
+    )
+    stats = OnlineStats()
+    for t in range(scale.trials):
+        outcome = run_gossip_trial(
+            lambda t=t: make_network(config, "fig4-meas", seed_tag, t),
+            rounds=rounds,
+            k_target=k_target,
+        )
+        messages = outcome["data_messages"]
+        if count_acks:
+            messages += outcome["ack_messages"]
+        stats.add(messages)
+    return stats.mean, rounds
+
+
+def figure4_point(
+    connectivity: int,
+    crash: float,
+    loss: float,
+    scale: ExperimentScale,
+    count_acks: bool = False,
+) -> Dict[str, float]:
+    """One (connectivity, P, L) point: the ratio and its components."""
+    graph = k_regular(scale.n, connectivity)
+    config = Configuration.uniform(graph, crash=crash, loss=loss)
+    optimal = optimal_messages(graph, config, scale.k_target)
+    seed_tag = f"k{connectivity}-P{crash}-L{loss}-n{scale.n}"
+    reference, rounds = reference_messages(
+        graph, config, scale.k_target, scale, seed_tag, count_acks
+    )
+    return {
+        "connectivity": float(connectivity),
+        "optimal_messages": float(optimal),
+        "reference_messages": reference,
+        "rounds": float(rounds),
+        "ratio": reference / optimal,
+    }
+
+
+def figure4_table(
+    variant: str = "crash",
+    scale: Optional[ExperimentScale] = None,
+    values: Optional[Sequence[float]] = None,
+    count_acks: bool = False,
+) -> SeriesTable:
+    """Regenerate Figure 4(a) (``variant="crash"``) or 4(b) (``"loss"``).
+
+    Each curve fixes one probability value; the x-axis sweeps network
+    connectivity.  y = reference/optimal message ratio.
+    """
+    scale = scale or current_scale()
+    if variant == "crash":
+        values = tuple(values or PAPER_CRASH_VALUES)
+        label = "P"
+        title = "Figure 4(a) - reference/optimal ratio, reliable links (L=0)"
+    elif variant == "loss":
+        values = tuple(values or PAPER_LOSS_VALUES)
+        label = "L"
+        title = "Figure 4(b) - reference/optimal ratio, reliable processes (P=0)"
+    else:
+        raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
+
+    table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    for value in values:
+        series = Series(name=f"{label}={value:g}")
+        for connectivity in scale.connectivities:
+            if connectivity >= scale.n:
+                continue
+            crash = value if variant == "crash" else 0.0
+            loss = value if variant == "loss" else 0.0
+            point = figure4_point(connectivity, crash, loss, scale, count_acks)
+            series.add(connectivity, point["ratio"])
+        table.add_series(series)
+    return table

@@ -1,0 +1,148 @@
+"""Figure 5 — convergence effort of the adaptive protocol.
+
+The paper measures "the effort needed to converge (i.e., all processes in
+the system learn the reliability probabilities) in number of messages per
+link", which is "twice the number of heartbeat messages sent by a process
+through a link until all processes converge": every process sends one
+heartbeat per incident link per ``delta``, so messages/link accumulate at
+2 per ``delta`` and the metric equals ``2 x convergence rounds``.
+
+We run the full adaptive stack (vectorised views) until the
+:func:`repro.analysis.convergence.views_converged` predicate holds and
+report ``heartbeat messages sent / link count``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.convergence import ConvergenceCriterion, views_converged
+from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.knowledge import KnowledgeParameters
+from repro.errors import ConvergenceTimeoutError
+from repro.experiments.runner import ExperimentScale, current_scale, make_network
+from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
+from repro.sim.trace import MessageCategory
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular
+from repro.topology.graph import Graph
+from repro.util.stats import OnlineStats
+from repro.util.tables import Series, SeriesTable
+
+#: Probability values plotted in the paper for each variant.
+PAPER_CRASH_VALUES = (0.0, 0.01, 0.03, 0.05)
+PAPER_LOSS_VALUES = (0.0, 0.01, 0.03, 0.05)
+
+
+def convergence_messages_per_link(
+    graph: Graph,
+    config: Configuration,
+    seed_tag: object,
+    deadline: float,
+    criterion: Optional[ConvergenceCriterion] = None,
+    poll_period: float = 5.0,
+    params: Optional[AdaptiveParameters] = None,
+    strict: bool = True,
+) -> float:
+    """Run the adaptive protocol until global convergence.
+
+    Returns:
+        Heartbeat messages per link at convergence time (the Figure 5/6
+        metric).
+
+    Raises:
+        ConvergenceTimeoutError: if ``strict`` and the deadline passes
+            without convergence.
+    """
+    criterion = criterion or ConvergenceCriterion()
+    network = make_network(config, "fig5", seed_tag)
+    monitor = BroadcastMonitor(graph.n)
+    nodes = [
+        AdaptiveBroadcast(p, network, monitor, 0.99, params)
+        for p in graph.processes
+    ]
+    network.start()
+    views = [node.view for node in nodes]
+    watcher = ConvergenceMonitor(
+        network.sim,
+        lambda: views_converged(views, config, criterion),
+        period=poll_period,
+        stop_when_converged=True,
+        deadline=deadline,
+    )
+    network.sim.run(until=deadline)
+    if not watcher.converged:
+        if strict:
+            raise ConvergenceTimeoutError(
+                f"no convergence within {deadline} time units "
+                f"(n={graph.n}, links={graph.link_count})"
+            )
+        return math.inf
+    return network.stats.sent(MessageCategory.HEARTBEAT) / graph.link_count
+
+
+def figure5_point(
+    connectivity: int,
+    crash: float,
+    loss: float,
+    scale: ExperimentScale,
+    trials: Optional[int] = None,
+) -> Dict[str, float]:
+    """One (connectivity, P, L) point of Figure 5 (mean over trials)."""
+    graph = k_regular(scale.n, connectivity)
+    config = Configuration.uniform(graph, crash=crash, loss=loss)
+    stats = OnlineStats()
+    trials = trials if trials is not None else max(3, scale.trials // 5)
+    for t in range(trials):
+        stats.add(
+            convergence_messages_per_link(
+                graph,
+                config,
+                (connectivity, crash, loss, t),
+                deadline=scale.convergence_deadline,
+            )
+        )
+    return {
+        "connectivity": float(connectivity),
+        "messages_per_link": stats.mean,
+        "stdev": stats.stdev,
+        "trials": float(stats.count),
+    }
+
+
+def figure5_table(
+    variant: str = "crash",
+    scale: Optional[ExperimentScale] = None,
+    values: Optional[Sequence[float]] = None,
+    trials: Optional[int] = None,
+) -> SeriesTable:
+    """Regenerate Figure 5(a) (``variant="crash"``) or 5(b) (``"loss"``).
+
+    x = connectivity, y = heartbeat messages per link until all processes
+    learned the reliability probabilities.
+    """
+    scale = scale or current_scale()
+    if variant == "crash":
+        values = tuple(values or PAPER_CRASH_VALUES)
+        label = "P"
+        title = "Figure 5(a) - convergence effort, reliable links (L=0)"
+    elif variant == "loss":
+        values = tuple(values or PAPER_LOSS_VALUES)
+        label = "L"
+        title = "Figure 5(b) - convergence effort, reliable processes (P=0)"
+    else:
+        raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
+
+    table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    for value in values:
+        series = Series(name=f"{label}={value:g}")
+        for connectivity in scale.connectivities:
+            if connectivity >= scale.n:
+                continue
+            crash = value if variant == "crash" else 0.0
+            loss = value if variant == "loss" else 0.0
+            point = figure5_point(connectivity, crash, loss, scale, trials)
+            series.add(connectivity, point["messages_per_link"])
+        table.add_series(series)
+    return table

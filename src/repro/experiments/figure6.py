@@ -1,0 +1,82 @@
+"""Figure 6 — scalability of the adaptive protocol (ring vs random tree).
+
+The paper grows the system from 100 to 240 processes on two topologies:
+a ring (worst case: information traverses half the system on average, so
+convergence effort grows linearly with n) and random trees (convergence
+effort stays nearly constant).  The metric is the same messages/link
+counter as Figure 5, with a mildly unreliable uniform configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.convergence import ConvergenceCriterion
+from repro.experiments.figure5 import convergence_messages_per_link
+from repro.experiments.runner import ExperimentScale, current_scale
+from repro.topology.configuration import Configuration
+from repro.topology.generators import random_tree, ring
+from repro.util.rng import RandomSource
+from repro.util.stats import OnlineStats
+from repro.util.tables import Series, SeriesTable
+
+#: Loss probability used for the scalability runs (mildly lossy links —
+#: the paper does not state the exact value; 0.01 keeps suspicion traffic
+#: representative without dominating convergence time).
+DEFAULT_LOSS = 0.01
+
+
+def figure6_point(
+    topology: str,
+    n: int,
+    scale: ExperimentScale,
+    trials: Optional[int] = None,
+    loss: float = DEFAULT_LOSS,
+) -> Dict[str, float]:
+    """Convergence effort for one (topology, n) point."""
+    trials = trials if trials is not None else max(3, scale.trials // 5)
+    stats = OnlineStats()
+    for t in range(trials):
+        if topology == "ring":
+            graph = ring(n)
+        elif topology == "tree":
+            graph = random_tree(n, RandomSource("fig6-tree", n, t))
+        else:
+            raise ValueError(f"topology must be 'ring' or 'tree', got {topology!r}")
+        config = Configuration.uniform(graph, crash=0.0, loss=loss)
+        stats.add(
+            convergence_messages_per_link(
+                graph,
+                config,
+                ("fig6", topology, n, t),
+                deadline=scale.convergence_deadline,
+            )
+        )
+    return {
+        "n": float(n),
+        "messages_per_link": stats.mean,
+        "stdev": stats.stdev,
+        "trials": float(stats.count),
+    }
+
+
+def figure6_table(
+    scale: Optional[ExperimentScale] = None,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    loss: float = DEFAULT_LOSS,
+) -> SeriesTable:
+    """Regenerate Figure 6: messages/link to converge vs system size."""
+    scale = scale or current_scale()
+    sizes = tuple(sizes or scale.figure6_sizes)
+    table = SeriesTable(
+        title="Figure 6 - adaptive algorithm scalability",
+        x_label="number of processes",
+    )
+    for topology in ("ring", "tree"):
+        series = Series(name=topology)
+        for n in sizes:
+            point = figure6_point(topology, n, scale, trials, loss)
+            series.add(n, point["messages_per_link"])
+        table.add_series(series)
+    return table

@@ -1,0 +1,98 @@
+"""Heterogeneous-environment extension (Section 7, future work).
+
+The paper's Section 5 deliberately evaluates with *uniform* failure
+probabilities and notes this "counts against" the adaptive algorithm;
+Section 7 expects larger gains once probabilities differ across the
+system.  This experiment quantifies that: it compares the
+reference/optimal message ratio on
+
+* a **uniform** configuration (every link loses with ``mean_loss``), and
+* a **heterogeneous** one with the same *mean* loss but per-link values
+  spread over ``[0, 2 * mean_loss]``,
+
+so any ratio difference is attributable purely to the spread the
+adaptive/optimal side can exploit (picking the reliable links) and the
+oblivious baseline cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.figure4 import optimal_messages, reference_messages
+from repro.experiments.runner import ExperimentScale, current_scale
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular
+from repro.util.rng import RandomSource
+from repro.util.tables import Series, SeriesTable
+
+
+def heterogeneity_point(
+    connectivity: int,
+    mean_loss: float,
+    scale: ExperimentScale,
+    spread: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Ratios for a uniform vs an equal-mean heterogeneous configuration.
+
+    Args:
+        spread: half-width of the loss distribution relative to the mean
+            (1.0 means per-link losses uniform over [0, 2*mean]).
+    """
+    graph = k_regular(scale.n, connectivity)
+    uniform = Configuration.uniform(graph, loss=mean_loss)
+    lo = max(0.0, mean_loss * (1.0 - spread))
+    hi = min(1.0, mean_loss * (1.0 + spread))
+    hetero = Configuration.random_uniform(
+        graph,
+        RandomSource("hetero", connectivity, seed),
+        crash_range=(0.0, 0.0),
+        loss_range=(lo, hi),
+    )
+
+    out: Dict[str, float] = {"connectivity": float(connectivity)}
+    for label, config in (("uniform", uniform), ("hetero", hetero)):
+        optimal = optimal_messages(graph, config, scale.k_target)
+        reference, rounds = reference_messages(
+            graph,
+            config,
+            scale.k_target,
+            scale,
+            seed_tag=f"het-{label}-{connectivity}-{mean_loss}-{seed}",
+        )
+        out[f"{label}_optimal"] = float(optimal)
+        out[f"{label}_reference"] = reference
+        out[f"{label}_ratio"] = reference / optimal
+    out["gain_delta"] = out["hetero_ratio"] - out["uniform_ratio"]
+    return out
+
+
+def heterogeneity_table(
+    scale: Optional[ExperimentScale] = None,
+    mean_loss: float = 0.05,
+    connectivities: Optional[Sequence[int]] = None,
+) -> SeriesTable:
+    """Reference/optimal ratio: uniform vs heterogeneous environments."""
+    scale = scale or current_scale()
+    connectivities = tuple(
+        connectivities or [k for k in scale.connectivities if k <= 12]
+    )
+    table = SeriesTable(
+        title=(
+            "Extension - heterogeneous environments "
+            f"(mean L={mean_loss}, equal-mean comparison)"
+        ),
+        x_label="connectivity (links/process)",
+    )
+    uniform = Series("ratio (uniform L)")
+    hetero = Series("ratio (heterogeneous L)")
+    for connectivity in connectivities:
+        if connectivity >= scale.n:
+            continue
+        point = heterogeneity_point(connectivity, mean_loss, scale)
+        uniform.add(connectivity, point["uniform_ratio"])
+        hetero.add(connectivity, point["hetero_ratio"])
+    table.add_series(uniform)
+    table.add_series(hetero)
+    return table

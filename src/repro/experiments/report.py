@@ -1,0 +1,73 @@
+"""Result persistence and report rendering for benchmark runs."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.tables import SeriesTable
+
+
+@dataclass
+class ExperimentRecord:
+    """One regenerated experiment, ready to be written to a report."""
+
+    experiment_id: str
+    description: str
+    scale: str
+    table: SeriesTable
+    notes: str = ""
+
+    def render(self) -> str:
+        header = (
+            f"=== {self.experiment_id} — {self.description} "
+            f"(scale: {self.scale}) ==="
+        )
+        parts = [header, self.table.render()]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+    def to_json(self) -> Dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "scale": self.scale,
+            "notes": self.notes,
+            "x_label": self.table.x_label,
+            "series": [
+                {"name": s.name, "xs": s.xs, "ys": s.ys}
+                for s in self.table.series
+            ],
+        }
+
+
+class ReportWriter:
+    """Accumulates experiment records and writes a combined report.
+
+    Benches use this (via the shared ``report_dir`` fixture) so a full
+    ``pytest benchmarks/ --benchmark-only`` run leaves both human-readable
+    and JSON artefacts under ``benchmarks/results/``.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._dir = directory
+        os.makedirs(directory, exist_ok=True)
+        self._records: List[ExperimentRecord] = []
+
+    def add(self, record: ExperimentRecord) -> None:
+        self._records.append(record)
+        base = record.experiment_id.replace(" ", "_").lower()
+        with open(os.path.join(self._dir, f"{base}.txt"), "w") as fh:
+            fh.write(record.render() + "\n")
+        with open(os.path.join(self._dir, f"{base}.json"), "w") as fh:
+            json.dump(record.to_json(), fh, indent=2)
+
+    def render_all(self) -> str:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+        parts = [f"repro experiment report — {stamp}"]
+        parts += [r.render() for r in self._records]
+        return "\n\n".join(parts)

@@ -1,0 +1,152 @@
+"""Shared experiment plumbing: scales, seeded trials, network factories."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkOptions
+from repro.topology.configuration import Configuration
+from repro.topology.graph import Graph
+from repro.util.rng import RandomSource, SeedLike
+from repro.util.stats import OnlineStats
+
+#: Environment variable selecting the benchmark scale preset.
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs shared by the figure experiments.
+
+    Attributes:
+        name: preset label.
+        n: process count (paper: 100).
+        k_target: reliability target ``K`` (paper: 0.9999 — see
+            DESIGN.md §3 note 7 on why the default is 0.99).
+        connectivities: x-axis of Figures 4/5.
+        trials: measurement repetitions per point.
+        calibration_trials: trials used when calibrating gossip rounds.
+        convergence_deadline: simulated-time cap for Figures 5/6.
+        figure6_sizes: x-axis of Figure 6 (paper: 100..240).
+    """
+
+    name: str
+    n: int
+    k_target: float
+    connectivities: Tuple[int, ...]
+    trials: int
+    calibration_trials: int
+    convergence_deadline: float
+    figure6_sizes: Tuple[int, ...]
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    n=16,
+    k_target=0.95,
+    connectivities=(2, 4, 6),
+    trials=8,
+    calibration_trials=20,
+    convergence_deadline=1500.0,
+    figure6_sizes=(16, 24, 32),
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    n=30,
+    k_target=0.99,
+    connectivities=(2, 4, 8, 12, 16),
+    trials=20,
+    calibration_trials=60,
+    convergence_deadline=3000.0,
+    figure6_sizes=(24, 36, 48, 60),
+)
+
+FULL = ExperimentScale(
+    name="full",
+    n=100,
+    k_target=0.9999,
+    connectivities=(2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    trials=50,
+    calibration_trials=200,
+    convergence_deadline=6000.0,
+    figure6_sizes=(100, 140, 180, 220, 240),
+)
+
+_PRESETS: Dict[str, ExperimentScale] = {
+    "quick": QUICK,
+    "default": DEFAULT,
+    "full": FULL,
+}
+
+
+def current_scale(override: Optional[str] = None) -> ExperimentScale:
+    """Resolve the active scale (arg > env ``REPRO_BENCH_SCALE`` > default)."""
+    name = override or os.environ.get(SCALE_ENV, "default")
+    try:
+        return _PRESETS[name.lower()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scale {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+
+
+def scaled(scale: ExperimentScale, **overrides) -> ExperimentScale:
+    """Derive a scale with some fields replaced."""
+    return replace(scale, **overrides)
+
+
+def make_network(
+    config: Configuration,
+    seed: SeedLike,
+    *extra_seed: SeedLike,
+    options: Optional[NetworkOptions] = None,
+) -> Network:
+    """Fresh simulator + network with a derived deterministic seed."""
+    sim = Simulator()
+    rng = RandomSource("repro-experiment", seed, *extra_seed)
+    return Network(sim, config, rng, options=options)
+
+
+class TrialRunner:
+    """Runs a seeded trial function several times and aggregates.
+
+    Example:
+        >>> runner = TrialRunner(base_seed="demo")
+        >>> stats = runner.run(lambda seed: float(len(str(seed))), trials=3)
+        >>> stats.count
+        3
+    """
+
+    def __init__(self, base_seed: SeedLike = "trial") -> None:
+        self._base_seed = base_seed
+
+    def run(
+        self,
+        trial: Callable[[RandomSource], float],
+        trials: int,
+    ) -> OnlineStats:
+        """Call ``trial`` with ``trials`` independent seed streams."""
+        stats = OnlineStats()
+        for index in range(trials):
+            stream = RandomSource(self._base_seed, index)
+            stats.add(trial(stream))
+        return stats
+
+    def run_many(
+        self,
+        trial: Callable[[RandomSource], Dict[str, float]],
+        trials: int,
+    ) -> Dict[str, OnlineStats]:
+        """As :meth:`run` but the trial returns several named metrics."""
+        stats: Dict[str, OnlineStats] = {}
+        for index in range(trials):
+            stream = RandomSource(self._base_seed, index)
+            outcome = trial(stream)
+            for key, value in outcome.items():
+                stats.setdefault(key, OnlineStats()).add(value)
+        return stats

@@ -1,0 +1,29 @@
+"""Baseline diffusion protocols the paper compares against or cites.
+
+* :mod:`repro.protocols.gossip` — the Section 5 reference algorithm:
+  step-synchronous forwarding with ACK suppression, run for a round count
+  calibrated to the target reliability.
+* :mod:`repro.protocols.flooding` — deterministic flood (each process
+  forwards once to all neighbours), the classic non-probabilistic
+  baseline of [8].
+* :mod:`repro.protocols.twophase` — a bimodal-multicast-style two-phase
+  protocol (unreliable gossip + anti-entropy repair), after [2] in the
+  related work, used in extended comparisons.
+"""
+
+from repro.protocols.flooding import FloodingBroadcast
+from repro.protocols.gossip import (
+    GossipBroadcast,
+    GossipParameters,
+    calibrate_rounds,
+)
+from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
+
+__all__ = [
+    "GossipBroadcast",
+    "GossipParameters",
+    "calibrate_rounds",
+    "FloodingBroadcast",
+    "TwoPhaseBroadcast",
+    "TwoPhaseParameters",
+]

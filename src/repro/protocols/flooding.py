@@ -1,0 +1,50 @@
+"""Deterministic flooding — the classic non-probabilistic baseline.
+
+Every process forwards each new message exactly once to all neighbours
+except the one it arrived from (related work [8] compares gossip against
+deterministic flooding).  With lossless links this reaches everyone with
+``2m - (n-1)``-ish messages; with losses it has no retransmission, so its
+delivery ratio degrades — which is precisely the gap retransmitting
+protocols close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.broadcast import MessageId, ReliableBroadcastProcess
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.network import Network
+from repro.sim.trace import MessageCategory
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class FloodData:
+    """A flooded application message."""
+
+    mid: MessageId
+    payload: Any
+
+
+class FloodingBroadcast(ReliableBroadcastProcess):
+    """Forward-once flooding (no acks, no retransmissions)."""
+
+    def broadcast(self, payload: Any) -> MessageId:
+        mid = self.next_message_id()
+        message = FloodData(mid=mid, payload=payload)
+        self.deliver(mid, payload)
+        for q in self.neighbors:
+            self.send(q, message, category=MessageCategory.DATA)
+        return mid
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, FloodData):
+            return
+        if self.has_delivered(payload.mid):
+            return
+        self.deliver(payload.mid, payload.payload)
+        for q in self.neighbors:
+            if q != sender:
+                self.send(q, payload, category=MessageCategory.DATA)

@@ -1,0 +1,190 @@
+"""Process crash models.
+
+Section 2.1 defines ``P_i`` as the ratio of *crashed steps* to total steps.
+The faithful model is therefore :class:`IidCrashModel`: every step
+(a send or a receive) is independently a crashed step with probability
+``P_i``, which makes the per-transmission success probability exactly the
+``(1-P_sender)(1-L)(1-P_receiver)`` used by the ``reach`` function.
+
+:class:`MarkovCrashModel` provides *bursty* unavailability (geometric
+up/down sojourns with the same stationary down fraction) for sensitivity
+ablations, plus crash/recovery notifications so protocols can exercise
+Event 4 of Algorithm 4 (recovering after ``n`` ticks down) and stable
+storage semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import ProcessId
+from repro.util.rng import RandomSource
+from repro.util.validation import check_open_probability, check_probability
+
+
+class CrashModel(abc.ABC):
+    """Decides, per step, whether a process is crashed.
+
+    A *step* is one send or one receive attempt (per §2.1, a normal step
+    carries at most one message).  ``crashed_step`` is consulted by the
+    network at each transmission endpoint.
+    """
+
+    @abc.abstractmethod
+    def crashed_step(self, p: ProcessId, now: float) -> bool:
+        """Whether process ``p`` executes a crashed step at time ``now``."""
+
+    @abc.abstractmethod
+    def down_fraction(self, p: ProcessId) -> float:
+        """The stationary crashed-step probability ``P_p`` of this model."""
+
+    def is_down(self, p: ProcessId, now: float) -> bool:
+        """Whether ``p`` is currently in a down *period* (burst models only).
+
+        Step-wise models have no down periods; they return ``False``.
+        """
+        return False
+
+
+class NoCrashModel(CrashModel):
+    """All processes are always up (``P_i = 0``)."""
+
+    def crashed_step(self, p: ProcessId, now: float) -> bool:
+        return False
+
+    def down_fraction(self, p: ProcessId) -> float:
+        return 0.0
+
+
+class IidCrashModel(CrashModel):
+    """Each step is independently crashed with probability ``P_p``.
+
+    Args:
+        crash_probabilities: per-process crash probability vector
+            (e.g. ``Configuration.crash_vector``).
+        rng: deterministic stream for the draws.
+    """
+
+    def __init__(self, crash_probabilities: np.ndarray, rng: RandomSource) -> None:
+        probs = np.asarray(crash_probabilities, dtype=float)
+        if probs.ndim != 1:
+            raise ValidationError("crash_probabilities must be a 1-D vector")
+        if np.any(np.isnan(probs)) or np.any(probs < 0) or np.any(probs > 1):
+            raise ValidationError("crash probabilities must be in [0, 1]")
+        self._probs = probs
+        self._rng = rng.child("iid-crash")
+
+    def crashed_step(self, p: ProcessId, now: float) -> bool:
+        prob = float(self._probs[p])
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True
+        return self._rng.random() < prob
+
+    def down_fraction(self, p: ProcessId) -> float:
+        return float(self._probs[p])
+
+
+class MarkovCrashModel(CrashModel):
+    """Two-state (up/down) Markov availability with geometric sojourns.
+
+    State is advanced lazily in unit-time ticks.  For a stationary down
+    fraction ``P`` and mean down sojourn ``mean_down`` ticks, the
+    transition probabilities are::
+
+        p_repair = 1 / mean_down
+        p_fail   = P * p_repair / (1 - P)
+
+    so ``P = p_fail / (p_fail + p_repair)``.
+
+    Crash/recovery transitions can be observed through ``on_crash`` /
+    ``on_recover`` callbacks — the recovery callback carries the number of
+    whole ticks spent down, feeding Event 4 of Algorithm 4.
+    """
+
+    def __init__(
+        self,
+        crash_probabilities: np.ndarray,
+        rng: RandomSource,
+        mean_down_ticks: float = 5.0,
+        on_crash: Optional[Callable[[ProcessId, float], None]] = None,
+        on_recover: Optional[Callable[[ProcessId, float, int], None]] = None,
+    ) -> None:
+        probs = np.asarray(crash_probabilities, dtype=float)
+        if probs.ndim != 1:
+            raise ValidationError("crash_probabilities must be a 1-D vector")
+        if np.any(np.isnan(probs)) or np.any(probs < 0) or np.any(probs >= 1):
+            raise ValidationError(
+                "Markov crash probabilities must be in [0, 1) "
+                "(P=1 has no stationary up state)"
+            )
+        if mean_down_ticks < 1.0:
+            raise ValidationError(
+                f"mean_down_ticks must be >= 1, got {mean_down_ticks}"
+            )
+        self._probs = probs
+        self._p_repair = 1.0 / mean_down_ticks
+        self._p_fail = np.where(
+            probs > 0, probs * self._p_repair / (1.0 - probs), 0.0
+        )
+        self._rng = rng.child("markov-crash")
+        self._down = np.zeros(len(probs), dtype=bool)
+        self._last_tick = np.zeros(len(probs), dtype=np.int64)
+        self._down_since = np.zeros(len(probs), dtype=np.int64)
+        self._on_crash = on_crash
+        self._on_recover = on_recover
+
+    def _advance(self, p: ProcessId, now: float) -> None:
+        tick_now = int(now)
+        ticks = tick_now - int(self._last_tick[p])
+        if ticks <= 0:
+            return
+        p_fail = float(self._p_fail[p])
+        p_repair = self._p_repair
+        down = bool(self._down[p])
+        for t in range(int(self._last_tick[p]) + 1, tick_now + 1):
+            if down:
+                if self._rng.random() < p_repair:
+                    down = False
+                    if self._on_recover is not None:
+                        self._on_recover(p, float(t), t - int(self._down_since[p]))
+            else:
+                if p_fail > 0.0 and self._rng.random() < p_fail:
+                    down = True
+                    self._down_since[p] = t
+                    if self._on_crash is not None:
+                        self._on_crash(p, float(t))
+        self._down[p] = down
+        self._last_tick[p] = tick_now
+
+    def crashed_step(self, p: ProcessId, now: float) -> bool:
+        self._advance(p, now)
+        return bool(self._down[p])
+
+    def is_down(self, p: ProcessId, now: float) -> bool:
+        self._advance(p, now)
+        return bool(self._down[p])
+
+    def down_fraction(self, p: ProcessId) -> float:
+        return float(self._probs[p])
+
+
+def make_crash_model(
+    kind: str,
+    crash_probabilities: np.ndarray,
+    rng: RandomSource,
+    **kwargs,
+) -> CrashModel:
+    """Factory: ``kind`` in {"none", "iid", "markov"}."""
+    if kind == "none":
+        return NoCrashModel()
+    if kind == "iid":
+        return IidCrashModel(crash_probabilities, rng)
+    if kind == "markov":
+        return MarkovCrashModel(crash_probabilities, rng, **kwargs)
+    raise ValidationError(f"unknown crash model kind {kind!r}")

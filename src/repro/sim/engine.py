@@ -1,0 +1,205 @@
+"""The discrete-event simulation kernel.
+
+A classic calendar-queue-free design: a binary heap of
+:class:`repro.sim.events.Event` ordered by ``(time, priority, seq)``.
+Cancellation is lazy (events are flagged and skipped on pop), which keeps
+both scheduling and cancelling O(log n) / O(1).
+
+Determinism: given the same schedule calls in the same order, the engine
+executes callbacks in exactly the same order — simultaneous events tie-break
+on priority then insertion sequence.  All randomness lives in the protocols'
+:class:`repro.util.rng.RandomSource` streams, never in the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import DEFAULT_PRIORITY, Event, TraceRecord
+
+
+class EventHandle:
+    """Caller-facing handle allowing an event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [2.0]
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._executed = 0
+        self._trace_enabled = trace
+        self._trace: List[TraceRecord] = []
+
+    # -- time ---------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        """Engine trace records (only populated when ``trace=True``)."""
+        return self._trace
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        name: str = "",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Raises:
+            SchedulingError: on negative, NaN or infinite delay.
+        """
+        if math.isnan(delay) or math.isinf(delay) or delay < 0.0:
+            raise SchedulingError(f"invalid delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, name, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        name: str = "",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time.
+
+        Raises:
+            SchedulingError: if ``time`` is in the past or not finite.
+        """
+        if math.isnan(time) or math.isinf(time) or time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now!r})"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=self._seq,
+            callback=callback,
+            name=name,
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # -- execution ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after this callback."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns:
+            ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if self._trace_enabled:
+                self._trace.append(TraceRecord(self._now, "exec", event.name))
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` callbacks have executed.
+
+        ``until`` is inclusive: events at exactly ``until`` execute, and on
+        return ``now`` is advanced to ``until`` even if the queue drained
+        earlier (so periodic statistics line up).
+
+        Raises:
+            SimulationError: on re-entrant ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        budget = math.inf if max_events is None else max_events
+        try:
+            while self._queue and budget > 0 and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if not self.step():
+                    break
+                budget -= 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue entirely (bounded by ``max_events``).
+
+        Raises:
+            SimulationError: if the bound is hit, which almost always means
+                a runaway periodic timer.
+        """
+        self.run(max_events=max_events)
+        if self.pending_events:
+            raise SimulationError(
+                f"run_until_idle exhausted {max_events} events with "
+                f"{self.pending_events} still pending"
+            )

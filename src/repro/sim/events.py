@@ -1,0 +1,56 @@
+"""Event records for the simulation kernel.
+
+Events are ordered by ``(time, priority, seq)``: earlier time first, then
+explicit priority, then insertion order — so simultaneous events run in a
+deterministic, insertion-stable order, which keeps seeded experiments
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+#: Default event priority; lower runs first among simultaneous events.
+DEFAULT_PRIORITY = 0
+
+#: Priority used for message deliveries (after timers at the same instant,
+#: so periodic protocol timers observe a consistent pre-delivery state).
+DELIVERY_PRIORITY = 10
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Only the sort key participates in ordering; the callback and metadata
+    are comparison-excluded so arbitrary callables can be scheduled.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    @property
+    def key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it (O(1), lazy removal)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug sugar
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.4g}, name={self.name!r}, {state})"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One entry of the optional engine trace (see ``Simulator.trace``)."""
+
+    time: float
+    kind: str
+    detail: Any

@@ -1,0 +1,78 @@
+"""Lossy-link transmission model.
+
+Each link drops a requested transmission independently with its configured
+loss probability ``L_x`` (Section 2.1).  Latency is configurable but plays
+no role in the paper's metrics (all results are message counts); the
+default small constant latency merely sequences deliveries after sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import UnknownLinkError, ValidationError
+from repro.topology.configuration import Configuration
+from repro.types import Link, ProcessId
+from repro.util.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-hop latency: ``base + jitter * U[0,1)`` time units."""
+
+    base: float = 0.1
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.jitter < 0:
+            raise ValidationError("latency parameters must be >= 0")
+
+    def sample(self, rng: RandomSource) -> float:
+        if self.jitter == 0.0:
+            return self.base
+        return self.base + self.jitter * rng.random()
+
+
+class LossyLinkLayer:
+    """Draws per-transmission loss outcomes from per-link streams.
+
+    One child random stream per link keeps outcomes independent of the
+    order in which other links transmit — crucial for reproducibility
+    when protocols are refactored.
+    """
+
+    def __init__(self, config: Configuration, rng: RandomSource) -> None:
+        self._config = config
+        self._graph = config.graph
+        self._root = rng.child("link-layer")
+        self._streams: Dict[int, RandomSource] = {}
+
+    def _stream(self, link: Link) -> RandomSource:
+        idx = self._graph.link_id(link)
+        stream = self._streams.get(idx)
+        if stream is None:
+            stream = self._root.child("loss", idx)
+            self._streams[idx] = stream
+        return stream
+
+    def loss_probability(self, link: Link) -> float:
+        return self._config.loss_probability(link)
+
+    def transmit(self, sender: ProcessId, receiver: ProcessId) -> bool:
+        """Whether one transmission across (sender, receiver) survives the link.
+
+        Raises:
+            UnknownLinkError: if the processes are not neighbours.
+        """
+        if not self._graph.has_link(sender, receiver):
+            raise UnknownLinkError(
+                f"no link between {sender} and {receiver}"
+            )
+        link = Link.of(sender, receiver)
+        loss = self._config.loss_probability(link)
+        if loss <= 0.0:
+            return True
+        if loss >= 1.0:
+            return False
+        return self._stream(link).random() >= loss

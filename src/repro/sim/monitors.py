@@ -1,0 +1,114 @@
+"""Run-time monitors: delivery tracking and convergence detection.
+
+* :class:`BroadcastMonitor` records which processes delivered each
+  broadcast message, yielding per-broadcast delivery ratios — the
+  empirical counterpart of the reliability ``K``.
+* :class:`ConvergenceMonitor` polls a predicate at a fixed period and
+  records the first time it holds — used for "all processes learned the
+  reliability probabilities" in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+from repro.sim.engine import Simulator
+from repro.types import ProcessId
+
+
+class BroadcastMonitor:
+    """Tracks ``deliver(m)`` events per broadcast id.
+
+    Protocol processes call :meth:`delivered` from their deliver path; the
+    experiment reads ratios once the run finishes.
+    """
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._deliveries: Dict[Hashable, Set[ProcessId]] = {}
+        self._first_delivery_time: Dict[Hashable, float] = {}
+        self._last_delivery_time: Dict[Hashable, float] = {}
+
+    def delivered(self, message_id: Hashable, pid: ProcessId, now: float) -> None:
+        group = self._deliveries.setdefault(message_id, set())
+        if pid not in group:
+            group.add(pid)
+            self._first_delivery_time.setdefault(message_id, now)
+            self._last_delivery_time[message_id] = now
+
+    def delivery_count(self, message_id: Hashable) -> int:
+        return len(self._deliveries.get(message_id, ()))
+
+    def delivery_ratio(self, message_id: Hashable) -> float:
+        return self.delivery_count(message_id) / self._n
+
+    def fully_delivered(self, message_id: Hashable) -> bool:
+        """Whether every process delivered this broadcast."""
+        return self.delivery_count(message_id) == self._n
+
+    def broadcast_ids(self) -> List[Hashable]:
+        return list(self._deliveries)
+
+    def all_fully_delivered(self) -> bool:
+        return all(self.fully_delivered(mid) for mid in self._deliveries)
+
+    def completion_time(self, message_id: Hashable) -> Optional[float]:
+        """Time of the last (n-th) delivery, or None if incomplete."""
+        if not self.fully_delivered(message_id):
+            return None
+        return self._last_delivery_time[message_id]
+
+
+class ConvergenceMonitor:
+    """Polls ``predicate()`` every ``period`` and remembers first success.
+
+    The predicate is evaluated outside any process (omniscient observer),
+    so polling consumes no simulated messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        predicate: Callable[[], bool],
+        period: float = 1.0,
+        stop_when_converged: bool = False,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self._sim = sim
+        self._predicate = predicate
+        self._period = period
+        self._stop = stop_when_converged
+        self._deadline = deadline
+        self._converged_at: Optional[float] = None
+        self._polls = 0
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self._sim.schedule(self._period, self._poll, name="convergence-poll")
+
+    def _poll(self) -> None:
+        self._polls += 1
+        if self._predicate():
+            self._converged_at = self._sim.now
+            if self._stop:
+                self._sim.stop()
+            return
+        if self._deadline is not None and self._sim.now >= self._deadline:
+            if self._stop:
+                self._sim.stop()
+            return
+        self._schedule()
+
+    @property
+    def converged(self) -> bool:
+        return self._converged_at is not None
+
+    @property
+    def converged_at(self) -> float:
+        """Time of first success (+inf if never converged)."""
+        return math.inf if self._converged_at is None else self._converged_at
+
+    @property
+    def polls(self) -> int:
+        return self._polls

@@ -1,0 +1,83 @@
+"""Volatile memory and stable storage (Section 2.1).
+
+Processes "have access to local volatile memory and stable storage.
+Information recorded in stable storage survives crashes".  The simulation
+models both as in-memory dictionaries; a crash wipes the volatile one.
+Stable storage tracks write counts so experiments can quantify how
+"judicious" a protocol is about using it (the paper cautions it is slow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+
+class VolatileMemory:
+    """Key-value memory lost on crash."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def wipe(self) -> None:
+        """Lose everything — called by the crash machinery."""
+        self._data.clear()
+
+
+class StableStorage:
+    """Key-value storage surviving crashes, with write accounting.
+
+    The write counter lets tests assert protocols only persist what the
+    paper requires (e.g. the local clock value used to estimate the
+    process's own crash probability, Section 4.1).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+        self._writes = 0
+        self._reads = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def write_count(self) -> int:
+        return self._writes
+
+    @property
+    def read_count(self) -> int:
+        return self._reads
+
+    def read(self, key: str, default: Any = None) -> Any:
+        self._reads += 1
+        return self._data.get(key, default)
+
+    def write(self, key: str, value: Any) -> None:
+        self._writes += 1
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())

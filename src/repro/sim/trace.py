@@ -1,0 +1,145 @@
+"""Message accounting and optional transmission tracing.
+
+Every experiment in the paper is scored in *messages*: Figure 4 compares
+data-message counts, Figure 5/6 count heartbeats per link.  The
+:class:`MessageStats` collector therefore tracks counts per category
+(data / ack / heartbeat / control) and per link, distinguishing attempted,
+lost and delivered transmissions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.types import Link, ProcessId
+
+
+class MessageCategory(enum.Enum):
+    """Classification of simulated messages for accounting."""
+
+    DATA = "data"
+    ACK = "ack"
+    HEARTBEAT = "heartbeat"
+    CONTROL = "control"
+
+
+class DropReason(enum.Enum):
+    """Why a transmission failed."""
+
+    SENDER_CRASH = "sender_crash"
+    LINK_LOSS = "link_loss"
+    RECEIVER_CRASH = "receiver_crash"
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """One attempted transmission (only recorded when tracing is enabled)."""
+
+    time: float
+    sender: ProcessId
+    receiver: ProcessId
+    category: MessageCategory
+    delivered: bool
+    drop_reason: Optional[DropReason]
+
+
+class MessageStats:
+    """Counters for sent / lost / delivered messages.
+
+    *Sent* counts every transmission attempt — a message dropped because
+    the sender executed a crashed step still consumed a send step, matching
+    the cost function ``c(m) = sum(m_j)`` of Eq. (3) which counts messages
+    *sent*, not messages delivered.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._sent: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
+        self._delivered: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
+        self._dropped: Dict[DropReason, int] = {r: 0 for r in DropReason}
+        self._per_link_sent: Dict[Link, int] = {}
+        self._trace_enabled = trace
+        self._records: List[TransmissionRecord] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        time: float,
+        sender: ProcessId,
+        receiver: ProcessId,
+        category: MessageCategory,
+        delivered: bool,
+        drop_reason: Optional[DropReason] = None,
+    ) -> None:
+        self._sent[category] += 1
+        link = Link.of(sender, receiver)
+        self._per_link_sent[link] = self._per_link_sent.get(link, 0) + 1
+        if delivered:
+            self._delivered[category] += 1
+        elif drop_reason is not None:
+            self._dropped[drop_reason] += 1
+        if self._trace_enabled:
+            self._records.append(
+                TransmissionRecord(time, sender, receiver, category, delivered, drop_reason)
+            )
+
+    # -- queries -----------------------------------------------------------------
+
+    def sent(self, category: Optional[MessageCategory] = None) -> int:
+        """Messages sent, in one category or in total."""
+        if category is None:
+            return sum(self._sent.values())
+        return self._sent[category]
+
+    def delivered(self, category: Optional[MessageCategory] = None) -> int:
+        if category is None:
+            return sum(self._delivered.values())
+        return self._delivered[category]
+
+    def dropped(self, reason: Optional[DropReason] = None) -> int:
+        if reason is None:
+            return sum(self._dropped.values())
+        return self._dropped[reason]
+
+    def sent_on(self, link: Link) -> int:
+        """Messages sent across one link (either direction)."""
+        return self._per_link_sent.get(Link.of(*link), 0)
+
+    def per_link_sent(self) -> Dict[Link, int]:
+        return dict(self._per_link_sent)
+
+    def messages_per_link(
+        self, link_count: int, category: Optional[MessageCategory] = None
+    ) -> float:
+        """Average messages per link — the y-axis of Figures 5 and 6."""
+        if link_count <= 0:
+            raise ValueError("link_count must be positive")
+        return self.sent(category) / link_count
+
+    @property
+    def records(self) -> List[TransmissionRecord]:
+        return self._records
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict summary, convenient for reports."""
+        out: Dict[str, int] = {}
+        for cat in MessageCategory:
+            out[f"sent_{cat.value}"] = self._sent[cat]
+            out[f"delivered_{cat.value}"] = self._delivered[cat]
+        for reason in DropReason:
+            out[f"dropped_{reason.value}"] = self._dropped[reason]
+        out["sent_total"] = self.sent()
+        out["delivered_total"] = self.delivered()
+        return out
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. after the warm-up/convergence phase)."""
+        for cat in MessageCategory:
+            self._sent[cat] = 0
+            self._delivered[cat] = 0
+        for reason in DropReason:
+            self._dropped[reason] = 0
+        self._per_link_sent.clear()
+        self._records.clear()

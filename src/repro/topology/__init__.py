@@ -1,0 +1,56 @@
+"""Topology substrate: graphs, generators and failure configurations.
+
+The paper's system model is ``G = (Pi, Lambda)`` with a failure
+configuration ``C`` assigning a crash probability to every process and a
+loss probability to every link (Section 2.1).  This package provides:
+
+* :class:`repro.topology.graph.Graph` — immutable undirected graph.
+* :mod:`repro.topology.generators` — the topologies of Section 5 (ring,
+  k-regular, random tree) plus richer families for examples and ablations.
+* :class:`repro.topology.configuration.Configuration` — the ``C`` tuple.
+* :mod:`repro.topology.paths` — BFS distances and path-reliability tools.
+"""
+
+from repro.topology.configuration import Configuration
+from repro.topology.generators import (
+    clique,
+    grid,
+    k_regular,
+    line,
+    random_connected,
+    random_tree,
+    ring,
+    scale_free,
+    small_world,
+    star,
+    two_tier,
+)
+from repro.topology.graph import Graph
+from repro.topology.paths import (
+    bfs_distances,
+    diameter,
+    distance_matrix,
+    most_reliable_path,
+    path_delivery_probability,
+)
+
+__all__ = [
+    "Graph",
+    "Configuration",
+    "ring",
+    "line",
+    "star",
+    "clique",
+    "grid",
+    "k_regular",
+    "random_tree",
+    "random_connected",
+    "small_world",
+    "scale_free",
+    "two_tier",
+    "bfs_distances",
+    "distance_matrix",
+    "diameter",
+    "most_reliable_path",
+    "path_delivery_probability",
+]

@@ -1,0 +1,63 @@
+"""Shared type aliases and small value types used across the library.
+
+The paper's system model (Section 2.1) is a graph ``G = (Pi, Lambda)`` of
+processes connected by bidirectional lossy links.  Processes are identified
+by dense integer ids (``0..n-1``) and links by a canonical ordered pair of
+process ids.  Keeping these as plain integers/tuples (rather than rich
+objects) keeps the hot simulation paths allocation-free and lets the
+vectorised knowledge tables index NumPy arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+ProcessId = int
+"""Identifier of a process; dense integers ``0..n-1``."""
+
+Time = float
+"""Simulated time, in abstract time units (heartbeat period ``delta`` = 1.0
+by default)."""
+
+
+class Link(NamedTuple):
+    """An undirected link between two processes.
+
+    The pair is canonicalised so that ``u < v``; construct via
+    :meth:`Link.of` to enforce this.  A ``Link`` compares equal regardless of
+    the order the endpoints were supplied to :meth:`of`, matching the paper's
+    bidirectional links (``l_ij`` and ``l_ji`` are the same link).
+    """
+
+    u: ProcessId
+    v: ProcessId
+
+    @classmethod
+    def of(cls, a: ProcessId, b: ProcessId) -> "Link":
+        """Return the canonical link between ``a`` and ``b``.
+
+        Raises:
+            ValueError: if ``a == b`` (self-links are not part of the model).
+        """
+        if a == b:
+            raise ValueError(f"self-link at process {a} is not allowed")
+        return cls(a, b) if a < b else cls(b, a)
+
+    def other(self, p: ProcessId) -> ProcessId:
+        """Return the endpoint opposite to ``p``.
+
+        Raises:
+            ValueError: if ``p`` is not an endpoint of this link.
+        """
+        if p == self.u:
+            return self.v
+        if p == self.v:
+            return self.u
+        raise ValueError(f"process {p} is not an endpoint of {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"l({self.u},{self.v})"
+
+
+LinkKey = Tuple[ProcessId, ProcessId]
+"""Raw ``(u, v)`` tuple form of a :class:`Link` (always ``u < v``)."""

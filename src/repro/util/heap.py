@@ -1,0 +1,215 @@
+"""Addressable binary heaps.
+
+Two small, dependency-free heap variants used across the library:
+
+* :class:`AddressableHeap` — a min-heap keyed by arbitrary hashable items
+  supporting ``decrease``/``update`` in O(log n).  Used by the modified
+  Prim's algorithm that builds the Maximum Reliability Tree (Appendix B of
+  the paper) and by Dijkstra-style path computations.
+* :class:`MaxHeap` — thin max-order wrapper around :class:`AddressableHeap`
+  used by the greedy ``optimize()`` (Algorithm 2), which repeatedly extracts
+  the link with the maximum reliability gain.
+
+The simulation event queue uses :mod:`heapq` directly (it never needs
+re-prioritisation); these classes exist for algorithms that do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+class AddressableHeap(Generic[ItemT]):
+    """Binary min-heap with O(log n) ``update`` of an item's priority.
+
+    Items must be hashable and unique within the heap.  Priorities are
+    compared with ``<`` only, so any totally ordered type works.
+
+    Example:
+        >>> h = AddressableHeap()
+        >>> h.push("a", 3.0)
+        >>> h.push("b", 1.0)
+        >>> h.update("a", 0.5)
+        >>> h.pop()
+        ('a', 0.5)
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, ItemT]] = []
+        self._index: Dict[ItemT, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._index
+
+    def __iter__(self) -> Iterator[ItemT]:
+        """Iterate over items in arbitrary (heap) order."""
+        return iter(self._index)
+
+    def priority(self, item: ItemT) -> float:
+        """Return the current priority of ``item``.
+
+        Raises:
+            KeyError: if ``item`` is not in the heap.
+        """
+        return self._entries[self._index[item]][0]
+
+    def push(self, item: ItemT, priority: float) -> None:
+        """Insert a new item.
+
+        Raises:
+            ValueError: if ``item`` is already present (use :meth:`update`).
+        """
+        if item in self._index:
+            raise ValueError(f"item {item!r} already in heap; use update()")
+        self._entries.append((priority, item))
+        self._index[item] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def update(self, item: ItemT, priority: float) -> None:
+        """Change the priority of an existing item (any direction)."""
+        pos = self._index[item]
+        old, _ = self._entries[pos]
+        self._entries[pos] = (priority, item)
+        if priority < old:
+            self._sift_up(pos)
+        else:
+            self._sift_down(pos)
+
+    def push_or_update(self, item: ItemT, priority: float) -> None:
+        """Insert ``item`` or update its priority if already present."""
+        if item in self._index:
+            self.update(item, priority)
+        else:
+            self.push(item, priority)
+
+    def peek(self) -> Tuple[ItemT, float]:
+        """Return (item, priority) with the minimum priority without removing it."""
+        if not self._entries:
+            raise IndexError("peek from an empty heap")
+        priority, item = self._entries[0]
+        return item, priority
+
+    def pop(self) -> Tuple[ItemT, float]:
+        """Remove and return (item, priority) with the minimum priority."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        priority, item = self._entries[0]
+        self._remove_at(0)
+        return item, priority
+
+    def remove(self, item: ItemT) -> None:
+        """Remove an arbitrary item from the heap."""
+        self._remove_at(self._index[item])
+
+    def _remove_at(self, pos: int) -> None:
+        last = len(self._entries) - 1
+        _, item = self._entries[pos]
+        del self._index[item]
+        if pos != last:
+            moved = self._entries[last]
+            self._entries[pos] = moved
+            self._index[moved[1]] = pos
+            self._entries.pop()
+            parent = (pos - 1) >> 1
+            if pos > 0 and moved[0] < self._entries[parent][0]:
+                self._sift_up(pos)
+            else:
+                self._sift_down(pos)
+        else:
+            self._entries.pop()
+
+    def _sift_up(self, pos: int) -> None:
+        entry = self._entries[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if entry[0] < self._entries[parent][0]:
+                self._entries[pos] = self._entries[parent]
+                self._index[self._entries[pos][1]] = pos
+                pos = parent
+            else:
+                break
+        self._entries[pos] = entry
+        self._index[entry[1]] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        size = len(self._entries)
+        if pos >= size:
+            return
+        entry = self._entries[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._entries[right][0] < self._entries[child][0]:
+                child = right
+            if self._entries[child][0] < entry[0]:
+                self._entries[pos] = self._entries[child]
+                self._index[self._entries[pos][1]] = pos
+                pos = child
+            else:
+                break
+        self._entries[pos] = entry
+        self._index[entry[1]] = pos
+
+
+class MaxHeap(Generic[ItemT]):
+    """Max-order addressable heap (negates priorities of an inner min-heap)."""
+
+    def __init__(self) -> None:
+        self._heap: AddressableHeap[ItemT] = AddressableHeap()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._heap
+
+    def priority(self, item: ItemT) -> float:
+        return -self._heap.priority(item)
+
+    def push(self, item: ItemT, priority: float) -> None:
+        self._heap.push(item, -priority)
+
+    def update(self, item: ItemT, priority: float) -> None:
+        self._heap.update(item, -priority)
+
+    def push_or_update(self, item: ItemT, priority: float) -> None:
+        self._heap.push_or_update(item, -priority)
+
+    def peek(self) -> Tuple[ItemT, float]:
+        item, priority = self._heap.peek()
+        return item, -priority
+
+    def pop(self) -> Tuple[ItemT, float]:
+        item, priority = self._heap.pop()
+        return item, -priority
+
+    def remove(self, item: ItemT) -> None:
+        self._heap.remove(item)
+
+
+def heapsorted(pairs: List[Tuple[ItemT, float]]) -> List[Tuple[ItemT, float]]:
+    """Sort (item, priority) pairs ascending by priority via the heap.
+
+    Exists mainly as a self-check utility for tests; equivalent to
+    ``sorted(pairs, key=lambda p: p[1])`` for distinct items.
+    """
+    heap: AddressableHeap[ItemT] = AddressableHeap()
+    for item, priority in pairs:
+        heap.push(item, priority)
+    out: List[Tuple[ItemT, float]] = []
+    while heap:
+        out.append(heap.pop())
+    return out

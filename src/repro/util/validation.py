@@ -1,0 +1,86 @@
+"""Argument-validation helpers shared across the library.
+
+All helpers raise :class:`repro.errors.ValidationError` with a message that
+names the offending parameter, so call sites stay one-liners::
+
+    check_probability(loss, "loss")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_open_probability(value: float, name: str) -> float:
+    """Validate a probability strictly inside (0, 1)."""
+    check_probability(value, name)
+    if value in (0.0, 1.0):
+        raise ValidationError(f"{name} must be strictly in (0, 1), got {value!r}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate a strictly positive finite number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value) or value <= 0:
+        raise ValidationError(f"{name} must be positive and finite, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate a finite number >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value) or value < 0:
+        raise ValidationError(f"{name} must be >= 0 and finite, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Validate ``lo <= value <= hi``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or not lo <= value <= hi:
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return float(value)
+
+
+def check_not_empty(items: Iterable, name: str) -> None:
+    """Validate that a sized container has at least one element."""
+    try:
+        size = len(items)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise ValidationError(f"{name} must be a sized container") from exc
+    if size == 0:
+        raise ValidationError(f"{name} must not be empty")

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["figure99"])
+
+    def test_scale_choices(self):
+        args = make_parser().parse_args(["figure1", "--scale", "quick"])
+        assert args.scale == "quick"
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["figure1", "--scale", "giant"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "figure6" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+        assert "0.875" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.36" in out
+
+    def test_table1_with_out(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table_1.txt").exists()
+
+    def test_figure1_with_out(self, tmp_path, capsys):
+        assert main(["figure1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "figure1.json").exists()
+        data = json.loads((tmp_path / "figure1.json").read_text())
+        assert data["experiment_id"] == "figure1"
+        assert len(data["series"]) == 3
+
+    @pytest.mark.slow
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "gossip/optimal message ratio" in out
+
+    @pytest.mark.slow
+    def test_heterogeneous_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert main(["heterogeneous", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous" in out

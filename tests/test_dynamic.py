@@ -1,0 +1,109 @@
+"""Dynamic-environment tests: the protocol re-adapts to changes.
+
+The paper's introduction motivates adaptivity with environments whose
+characteristics change; Section 4.1 promises convergence whenever the
+system "remains stable for long enough".  These tests change the true
+configuration mid-run and verify the knowledge activity tracks it."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.knowledge import KnowledgeParameters
+from repro.errors import ValidationError
+from repro.sim.monitors import BroadcastMonitor
+from repro.topology.configuration import Configuration
+from repro.topology.generators import clique, ring
+from repro.types import Link
+from tests.conftest import build_network
+
+KN = KnowledgeParameters(delta=1.0, intervals=100, tick=1.0)
+
+
+def deploy(config, seed=0):
+    network = build_network(config, seed)
+    monitor = BroadcastMonitor(config.graph.n)
+    nodes = [
+        AdaptiveBroadcast(p, network, monitor, 0.95,
+                          AdaptiveParameters(knowledge=KN))
+        for p in config.graph.processes
+    ]
+    network.start()
+    return network, nodes
+
+
+class TestReplaceConfiguration:
+    def test_topology_must_match(self):
+        config = Configuration.reliable(ring(4))
+        network, _ = deploy(config)
+        other = Configuration.reliable(ring(5))
+        with pytest.raises(ValidationError):
+            network.replace_configuration(other)
+
+    def test_loss_rates_take_effect(self):
+        graph = ring(4)
+        network, _ = deploy(Configuration.reliable(graph))
+        network.replace_configuration(Configuration.uniform(graph, loss=1.0))
+        assert network.send(0, 1, "x") is False
+
+    def test_config_property_updated(self):
+        graph = ring(4)
+        network, _ = deploy(Configuration.reliable(graph))
+        new = Configuration.uniform(graph, loss=0.5)
+        network.replace_configuration(new)
+        assert network.config == new
+
+
+class TestReAdaptation:
+    def test_link_estimate_tracks_degradation(self):
+        """A link degrading from 1% to 25% loss: the neighbour notices."""
+        graph = ring(6)
+        before = Configuration.uniform(graph, loss=0.01)
+        network, nodes = deploy(before, seed=3)
+        network.sim.run(until=500.0)
+        link = Link.of(0, 1)
+        est_before = nodes[0].view.loss_probability(link)
+        assert est_before == pytest.approx(0.01, abs=0.02)
+
+        network.replace_configuration(
+            before.with_loss({link: 0.25})
+        )
+        network.sim.run(until=2500.0)
+        est_after = nodes[0].view.loss_probability(link)
+        # the Bayesian posterior carries 500 rounds of old evidence, so
+        # it moves toward 0.25 without fully reaching it yet
+        assert est_after > est_before + 0.03
+        assert est_after > 0.05
+
+    def test_mrt_routes_around_degraded_link(self):
+        """Re-adaptation changes the broadcast plan (a clique offers
+        alternatives, so the degraded link gets dropped from the MRT)."""
+        graph = clique(5)
+        before = Configuration.uniform(graph, loss=0.02)
+        network, nodes = deploy(before, seed=7)
+        network.sim.run(until=400.0)
+
+        bad = Link.of(0, 1)
+        network.replace_configuration(before.with_loss({bad: 0.5}))
+        network.sim.run(until=4500.0)
+
+        tree = nodes[0].plan_tree()
+        assert bad not in tree.links()
+        # broadcasts still reach everyone through the detour
+        mid = nodes[0].broadcast("after-change")
+        network.sim.run(until=network.sim.now + 10.0)
+        assert nodes[0].monitor.delivery_count(mid) == graph.n
+
+    def test_improvement_also_tracked(self):
+        """A link improving from 30% to ~0 loss: estimates drop."""
+        graph = ring(5)
+        link = Link.of(0, 1)
+        before = Configuration.uniform(graph, loss=0.0).with_loss({link: 0.3})
+        network, nodes = deploy(before, seed=11)
+        network.sim.run(until=400.0)
+        est_before = nodes[0].view.loss_probability(link)
+        assert est_before > 0.15
+
+        network.replace_configuration(Configuration.uniform(graph, loss=0.0))
+        network.sim.run(until=3500.0)
+        est_after = nodes[0].view.loss_probability(link)
+        assert est_after < est_before - 0.05

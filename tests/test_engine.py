@@ -1,0 +1,180 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import DELIVERY_PRIORITY, Event
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_simultaneous_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_orders_simultaneous(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("delivery"), priority=DELIVERY_PRIORITY)
+        sim.schedule(1.0, lambda: fired.append("timer"))
+        sim.run()
+        assert fired == ["timer", "delivery"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert not handle.active
+
+    def test_cancel_from_callback(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_until_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_until_advances_time_when_idle(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_idle_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=50)
+
+    def test_executed_events_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(1.0 + i, lambda: None)
+        sim.run()
+        assert sim.executed_events == 4
+
+
+class TestTrace:
+    def test_trace_records(self):
+        sim = Simulator(trace=True)
+        sim.schedule(1.0, lambda: None, name="tick")
+        sim.run()
+        assert len(sim.trace) == 1
+        assert sim.trace[0].detail == "tick"
+        assert sim.trace[0].time == 1.0
+
+
+class TestEventOrdering:
+    def test_event_sort_key(self):
+        a = Event(time=1.0, priority=0, seq=0, callback=lambda: None)
+        b = Event(time=1.0, priority=0, seq=1, callback=lambda: None)
+        c = Event(time=1.0, priority=5, seq=0, callback=lambda: None)
+        d = Event(time=0.5, priority=9, seq=9, callback=lambda: None)
+        assert sorted([c, b, a, d]) == [d, a, b, c]

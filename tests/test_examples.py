@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline results.  Examples double as executable documentation, so a
+broken example is a broken deliverable.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "MRT spans 30 processes" in out
+        assert "message ratio (gossip/optimal)" in out
+
+    def test_two_paths_analysis(self):
+        out = run_example("two_paths_analysis.py")
+        assert "0.875" in out  # the paper's 87% anchor
+        assert "Monte-Carlo check" in out
+
+    def test_pubsub_wan(self):
+        out = run_example("pubsub_wan.py")
+        assert "WAN links used: 3 (minimum possible: 3)" in out
+        assert "adaptiveness check" in out
+        assert "20/20 subscribers" in out
+
+    def test_convergence_monitor(self):
+        out = run_example("convergence_monitor.py")
+        assert "knowledge convergence" in out
+        assert "messages per link so far" in out

@@ -1,0 +1,155 @@
+"""Failure-injection tests: extreme configurations and degraded modes.
+
+These exercise the corners the paper's model permits but its evaluation
+never visits: totally dead links, near-certain crashes, partitions of
+knowledge, and broadcasts initiated from every position of the tree.
+"""
+
+import math
+
+import pytest
+
+from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.knowledge import KnowledgeParameters
+from repro.core.mrt import maximum_reliability_tree
+from repro.core.optimal import OptimalBroadcast
+from repro.core.optimize import optimize
+from repro.errors import UnreachableTargetError
+from repro.sim.monitors import BroadcastMonitor
+from repro.topology.configuration import Configuration
+from repro.topology.generators import clique, line, ring, star
+from repro.types import Link
+from tests.conftest import build_network
+
+KN = KnowledgeParameters(delta=1.0, intervals=50, tick=1.0)
+
+
+class TestDeadLinks:
+    def test_mrt_avoids_dead_link_when_alternative_exists(self):
+        g = clique(4)
+        c = Configuration.uniform(g, loss=0.01).with_loss({Link.of(0, 1): 1.0})
+        tree = maximum_reliability_tree(g, c, root=0)
+        assert Link.of(0, 1) not in tree.links()
+        plan = optimize(tree, 0.999, c)
+        assert plan.achieved >= 0.999
+
+    def test_unavoidable_dead_link_is_unreachable(self):
+        g = line(3)
+        c = Configuration(g, loss={(0, 1): 1.0, (1, 2): 0.0})
+        tree = maximum_reliability_tree(g, c, root=0)
+        with pytest.raises(UnreachableTargetError):
+            optimize(tree, 0.9, c)
+
+    def test_near_dead_link_demands_many_copies(self):
+        g = line(2)
+        c = Configuration.uniform(g, loss=0.9)
+        tree = maximum_reliability_tree(g, c, root=0)
+        plan = optimize(tree, 0.99, c)
+        # need lambda^m <= 0.01 with lambda=0.9 -> m >= 44
+        assert plan.counts[1] >= 44
+        assert plan.achieved >= 0.99
+
+
+class TestExtremeCrashes:
+    def test_doomed_relay_is_routed_around(self):
+        from repro.topology.graph import Graph
+
+        g = Graph(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        c = Configuration(g, crash={1: 0.95})
+        tree = maximum_reliability_tree(g, c, root=0)
+        assert tree.parent(3) == 2
+
+    def test_broadcast_with_heavy_crashes_still_possible(self):
+        g = star(5)
+        c = Configuration.uniform(g, crash=0.3)
+        network = build_network(c, "heavy-crash")
+        monitor = BroadcastMonitor(g.n)
+        nodes = [OptimalBroadcast(p, network, monitor, 0.9) for p in g.processes]
+        network.start()
+        plan = nodes[0].build_plan()
+        assert plan.achieved >= 0.9
+        assert plan.total_messages > 2 * (g.n - 1)  # heavy redundancy
+        nodes[0].broadcast("x")
+        network.sim.run_until_idle()
+        # no assertion on full delivery in one trial (probabilistic), but
+        # the run must terminate cleanly with all sends accounted
+        assert network.stats.sent() == plan.total_messages
+
+
+class TestEveryRoot:
+    def test_broadcast_from_every_process(self, small_graph, small_config):
+        for root in small_graph.processes:
+            network = build_network(small_config, ("roots", root))
+            monitor = BroadcastMonitor(small_graph.n)
+            nodes = [
+                OptimalBroadcast(p, network, monitor, 0.99)
+                for p in small_graph.processes
+            ]
+            network.start()
+            mid = nodes[root].broadcast("x")
+            network.sim.run_until_idle()
+            assert monitor.delivery_count(mid) >= 1
+            tree = nodes[root].plan_tree()
+            assert tree.root == root
+            assert tree.size == small_graph.n
+
+
+class TestKnowledgePartition:
+    def test_isolated_process_never_learns(self):
+        """A process whose links are all dead gets no heartbeats; its
+        knowledge stays at its own neighbourhood and its estimates of the
+        dead links degrade (suspicion-driven)."""
+        g = ring(5)
+        dead = {Link.of(4, 0): 1.0, Link.of(3, 4): 1.0}
+        c = Configuration.uniform(g, loss=0.0).with_loss(dead)
+        network = build_network(c, "isolated")
+        monitor = BroadcastMonitor(g.n)
+        nodes = [
+            AdaptiveBroadcast(p, network, monitor, 0.95,
+                              AdaptiveParameters(knowledge=KN))
+            for p in g.processes
+        ]
+        network.start()
+        network.sim.run(until=60.0)
+        isolated = nodes[4].view
+        # it knows only its own (dead) links
+        assert isolated.known_links == {Link.of(3, 4), Link.of(0, 4)}
+        # and believes them to be very lossy
+        assert isolated.loss_probability(Link.of(3, 4)) > 0.5
+        # the rest of the ring converged on its own side
+        connected = nodes[1].view
+        assert len(connected.known_links) >= 4
+
+    def test_partitioned_broadcast_reaches_own_side(self):
+        g = ring(5)
+        dead = {Link.of(4, 0): 1.0, Link.of(3, 4): 1.0}
+        c = Configuration.uniform(g, loss=0.0).with_loss(dead)
+        network = build_network(c, "partition-bc")
+        monitor = BroadcastMonitor(g.n)
+        nodes = [
+            AdaptiveBroadcast(p, network, monitor, 0.95,
+                              AdaptiveParameters(knowledge=KN))
+            for p in g.processes
+        ]
+        network.start()
+        network.sim.run(until=60.0)
+        mid = nodes[1].broadcast("side-a")
+        network.sim.run(until=80.0)
+        # processes 0..3 are mutually reachable; 4 is cut off
+        assert monitor.delivery_count(mid) == 4
+
+
+class TestSingleProcessSystem:
+    def test_broadcast_to_self_only(self):
+        from repro.topology.graph import Graph
+
+        g = Graph(1, [])
+        c = Configuration.reliable(g)
+        network = build_network(c, "solo")
+        monitor = BroadcastMonitor(1)
+        node = OptimalBroadcast(0, network, monitor, 0.99)
+        network.start()
+        mid = node.broadcast("alone")
+        network.sim.run_until_idle()
+        assert monitor.fully_delivered(mid)
+        assert network.stats.sent() == 0

@@ -1,0 +1,169 @@
+"""Unit tests for the reference gossip baseline (Section 5)."""
+
+import pytest
+
+from repro.errors import CalibrationError, ValidationError
+from repro.protocols.gossip import (
+    GossipBroadcast,
+    GossipParameters,
+    calibrate_rounds,
+    run_gossip_trial,
+)
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.trace import MessageCategory
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular, line, ring
+from tests.conftest import build_network
+
+
+def deploy(config, rounds=4, seed=0, fanout=None):
+    network = build_network(config, seed)
+    monitor = BroadcastMonitor(config.graph.n)
+    params = GossipParameters(rounds=rounds, fanout=fanout)
+    procs = [
+        GossipBroadcast(p, network, monitor, 0.99, params)
+        for p in config.graph.processes
+    ]
+    network.start()
+    return network, monitor, procs
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GossipParameters(rounds=0)
+        with pytest.raises(ValidationError):
+            GossipParameters(step_period=0.0)
+        with pytest.raises(ValidationError):
+            GossipParameters(fanout=0)
+
+
+class TestReliableNetwork:
+    def test_full_delivery(self):
+        network, monitor, procs = deploy(Configuration.reliable(ring(8)))
+        mid = procs[0].broadcast("m")
+        network.sim.run(until=10.0)
+        assert monitor.fully_delivered(mid)
+
+    def test_acks_suppress_retransmission(self):
+        """On a reliable network, traffic stops once everyone acked."""
+        network, monitor, procs = deploy(
+            Configuration.reliable(ring(6)), rounds=50
+        )
+        procs[0].broadcast("m")
+        network.sim.run(until=10.0)
+        sent_at_10 = network.stats.sent(MessageCategory.DATA)
+        network.sim.run(until=30.0)
+        assert network.stats.sent(MessageCategory.DATA) == sent_at_10
+
+    def test_no_forward_back_to_source(self):
+        """Rule (a): p never forwards m back to who it received it from."""
+        network, monitor, procs = deploy(Configuration.reliable(line(3)))
+        procs[0].broadcast("m")
+        network.sim.run(until=1.5)
+        # process 1 received from 0; at its first step it forwards only to 2
+        from repro.types import Link
+
+        assert network.stats.sent_on(Link.of(1, 2)) >= 1
+
+    def test_acks_are_counted_separately(self):
+        network, monitor, procs = deploy(Configuration.reliable(ring(5)))
+        procs[0].broadcast("m")
+        network.sim.run(until=10.0)
+        assert network.stats.sent(MessageCategory.ACK) > 0
+        assert network.stats.sent(MessageCategory.DATA) > 0
+
+    def test_fanout_caps_targets(self):
+        g = k_regular(10, 6)
+        network, monitor, procs = deploy(
+            Configuration.reliable(g), rounds=1, fanout=2
+        )
+        procs[0].broadcast("m")
+        network.sim.run(until=0.5)
+        assert network.stats.sent(MessageCategory.DATA) == 2
+
+
+class TestLossyNetwork:
+    def test_retransmits_until_acked(self):
+        """With a very lossy link, the sender keeps retrying each round."""
+        config = Configuration.uniform(line(2), loss=0.8)
+        network, monitor, procs = deploy(config, rounds=10, seed=3)
+        procs[0].broadcast("m")
+        network.sim.run(until=15.0)
+        assert network.stats.sent(MessageCategory.DATA) >= 3
+
+    def test_round_budget_limits_traffic(self):
+        config = Configuration.uniform(line(2), loss=1.0)
+        network, monitor, procs = deploy(config, rounds=3, seed=3)
+        procs[0].broadcast("m")
+        network.sim.run(until=30.0)
+        # origin forwards once at broadcast + per periodic step, 3 rounds total
+        assert network.stats.sent(MessageCategory.DATA) == 3
+
+    def test_more_rounds_more_reliable(self):
+        config = Configuration.uniform(ring(8), loss=0.4)
+
+        def reach_rate(rounds):
+            reached = 0
+            for seed in range(40):
+                outcome = run_gossip_trial(
+                    lambda seed=seed: build_network(config, ("gr", rounds, seed)),
+                    rounds=rounds,
+                )
+                reached += outcome["reached"]
+            return reached / 40
+
+        assert reach_rate(8) >= reach_rate(1)
+
+
+class TestRunGossipTrial:
+    def test_outcome_fields(self):
+        config = Configuration.reliable(ring(5))
+        outcome = run_gossip_trial(
+            lambda: build_network(config, 1), rounds=3
+        )
+        assert outcome["reached"] == 1.0
+        assert outcome["delivery_ratio"] == 1.0
+        assert outcome["data_messages"] > 0
+        assert outcome["ack_messages"] > 0
+
+    def test_deterministic_per_factory_seed(self):
+        config = Configuration.uniform(ring(6), loss=0.3)
+        a = run_gossip_trial(lambda: build_network(config, 9), rounds=3)
+        b = run_gossip_trial(lambda: build_network(config, 9), rounds=3)
+        assert a == b
+
+
+class TestCalibration:
+    def test_reliable_network_needs_one_round(self):
+        config = Configuration.reliable(ring(6))
+        rounds = calibrate_rounds(
+            lambda t: build_network(config, ("cal", t)),
+            k_target=0.9,
+            trials=10,
+        )
+        assert rounds == 1
+
+    def test_lossy_needs_more_rounds(self):
+        config = Configuration.uniform(ring(6), loss=0.3)
+        rounds = calibrate_rounds(
+            lambda t: build_network(config, ("cal2", t)),
+            k_target=0.9,
+            trials=20,
+        )
+        assert rounds > 1
+
+    def test_impossible_target_raises(self):
+        config = Configuration.uniform(line(2), loss=1.0)
+        with pytest.raises(CalibrationError):
+            calibrate_rounds(
+                lambda t: build_network(config, ("cal3", t)),
+                k_target=0.9,
+                trials=5,
+                max_rounds=6,
+            )
+
+    def test_invalid_k(self):
+        config = Configuration.reliable(ring(4))
+        with pytest.raises(ValidationError):
+            calibrate_rounds(lambda t: build_network(config, t), k_target=1.5)

@@ -1,0 +1,293 @@
+"""Unit tests for the knowledge activity (Algorithm 4) — ProcessView."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.knowledge import (
+    HeartbeatSnapshot,
+    KnowledgeParameters,
+    ProcessView,
+)
+from repro.types import Link
+
+
+def make_view(pid=0, n=4, neighbors=(1, 2), intervals=10, delta=1.0):
+    params = KnowledgeParameters(delta=delta, intervals=intervals, tick=delta)
+    return ProcessView(pid, n, neighbors, params)
+
+
+class TestInitialization:
+    """Algorithm 4, lines 1-12."""
+
+    def test_process_estimates_unknown(self):
+        view = make_view()
+        assert math.isinf(view.distortion_of(1))
+        assert math.isinf(view.distortion_of(3))
+
+    def test_self_estimate_undistorted(self):
+        view = make_view()
+        assert view.distortion_of(0) == 0.0
+
+    def test_only_direct_links_known(self):
+        view = make_view()
+        assert view.known_links == {Link.of(0, 1), Link.of(0, 2)}
+        assert view.knows_link(Link.of(0, 1))
+        assert not view.knows_link(Link.of(1, 2))
+
+    def test_direct_links_undistorted(self):
+        view = make_view()
+        assert view.link_distortion(Link.of(0, 1)) == 0.0
+        assert math.isinf(view.link_distortion(Link.of(2, 3)))
+
+    def test_timeouts_start_at_delta(self):
+        view = make_view(delta=2.5)
+        assert all(view.timeout[p] == 2.5 for p in range(4))
+
+    def test_unknown_probability_is_half(self):
+        """Uniform beliefs -> posterior mean 0.5 (maximum ignorance)."""
+        view = make_view()
+        assert view.crash_probability(3) == pytest.approx(0.5)
+
+    def test_unknown_link_query_raises(self):
+        view = make_view()
+        with pytest.raises(ProtocolError):
+            view.loss_probability(Link.of(1, 2))
+
+    def test_invalid_pid(self):
+        with pytest.raises(ProtocolError):
+            ProcessView(9, 4, (1,))
+        with pytest.raises(ProtocolError):
+            ProcessView(0, 4, (0,))
+
+
+class TestHeartbeatEmission:
+    """Lines 14-17."""
+
+    def test_seq_increments(self):
+        view = make_view()
+        snap1 = view.emit_heartbeat(1.0)
+        snap2 = view.emit_heartbeat(2.0)
+        assert snap1.sender_seq == 1
+        assert snap2.sender_seq == 2
+
+    def test_snapshot_is_deep(self):
+        view = make_view()
+        snap = view.emit_heartbeat(1.0)
+        view.proc[0].beliefs.decrease_reliability(5)
+        import numpy as np
+
+        assert not np.allclose(
+            snap.proc_estimates[0].beliefs.beliefs,
+            view.proc[0].beliefs.beliefs,
+        )
+
+    def test_snapshot_links(self):
+        view = make_view()
+        snap = view.emit_heartbeat(1.0)
+        assert snap.links == {Link.of(0, 1), Link.of(0, 2)}
+
+
+class TestEvent1:
+    """Lines 18-33: heartbeat reception."""
+
+    def exchange(self, sender_view, receiver_view, now):
+        snap = sender_view.emit_heartbeat(now)
+        receiver_view.handle_heartbeat(snap, now)
+        return snap
+
+    def test_adopts_sender_self_estimate(self):
+        a = make_view(pid=0, neighbors=(1, 2))
+        b = make_view(pid=1, neighbors=(0, 3))
+        b.proc[1].beliefs.increase_reliability(20)
+        self.exchange(b, a, 1.0)
+        assert a.distortion_of(1) == 1.0
+        assert a.crash_probability(1) == pytest.approx(
+            b.crash_probability(1), abs=1e-12
+        )
+        assert a.proc[1].seq == 1
+
+    def test_heartbeat_from_non_neighbor_rejected(self):
+        a = make_view(pid=0, neighbors=(1,))
+        c = make_view(pid=3, neighbors=(2,))
+        snap = c.emit_heartbeat(1.0)
+        with pytest.raises(ProtocolError):
+            a.handle_heartbeat(snap, 1.0)
+
+    def test_received_heartbeat_is_link_success(self):
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        before = a.loss_probability(Link.of(0, 1))
+        self.exchange(b, a, 1.0)
+        assert a.loss_probability(Link.of(0, 1)) < before
+
+    def test_suspicion_reconciliation_zero_adjust(self):
+        """One suspicion + one missed heartbeat cancel exactly."""
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        self.exchange(b, a, 1.0)
+        loss_after_first = a.loss_probability(Link.of(0, 1))
+        # b emits (lost: a never sees seq 2)
+        b.emit_heartbeat(2.0)
+        # a suspects at its sweep
+        assert a.staleness_sweep(2.0) == [1]
+        loss_after_suspicion = a.loss_probability(Link.of(0, 1))
+        assert loss_after_suspicion > loss_after_first
+        # next heartbeat arrives: gap=2, missed=1, suspected=1 -> adjust=0
+        self.exchange(b, a, 3.0)
+        assert a.proc[1].suspected == 0
+        # exactly one loss recorded overall: belief reflects 1 failure,
+        # 2 successes; no corrective adjustment was applied
+
+    def test_unsuspected_miss_decreases_link(self):
+        """Missed heartbeat without suspicion -> adjust < 0 -> failure obs."""
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        self.exchange(b, a, 1.0)
+        b.emit_heartbeat(2.0)  # lost, and a never sweeps
+        est_before = a.loss_probability(Link.of(0, 1))
+        self.exchange(b, a, 3.0)
+        # net: one success (arrival) + one failure (missed) observations
+        est_after = a.loss_probability(Link.of(0, 1))
+        assert est_after > 0.0
+        assert a.proc[1].suspected == 0
+
+    def test_over_suspicion_increases_link_and_timeout(self):
+        """adjust > 1 undoes spurious suspicions and widens the timeout."""
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        self.exchange(b, a, 1.0)
+        # two spurious sweeps with no lost heartbeats
+        a.staleness_sweep(2.0)
+        a.staleness_sweep(3.0)
+        assert a.proc[1].suspected == 2
+        timeout_before = a.timeout[1]
+        self.exchange(b, a, 3.5)  # gap=1, missed=0, adjust=2
+        assert a.timeout[1] == timeout_before + a.params.delta
+
+    def test_topology_merge(self):
+        a = make_view(pid=0, neighbors=(1,), n=4)
+        b = make_view(pid=1, neighbors=(0, 2), n=4)
+        self.exchange(b, a, 1.0)
+        assert a.knows_link(Link.of(1, 2))
+        assert a.link_distortion(Link.of(1, 2)) == 1.0  # adopted + 1
+
+    def test_transitive_topology_spread(self):
+        a = make_view(pid=0, neighbors=(1,), n=4)
+        b = make_view(pid=1, neighbors=(0, 2), n=4)
+        c = make_view(pid=2, neighbors=(1, 3), n=4)
+        self.exchange(c, b, 1.0)
+        self.exchange(b, a, 2.0)
+        assert a.knows_link(Link.of(2, 3))
+        assert a.link_distortion(Link.of(2, 3)) == 2.0
+
+    def test_own_estimate_never_overwritten(self):
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        a.proc[0].beliefs.increase_reliability(30)
+        own_before = a.crash_probability(0)
+        # b holds a (wrong, distorted) estimate of process 0
+        b.proc[0].distortion = 0.5  # artificially tempting
+        self.exchange(b, a, 1.0)
+        assert a.crash_probability(0) == own_before
+        assert a.distortion_of(0) == 0.0
+
+    def test_link_estimate_tie_keeps_own(self):
+        a = make_view(pid=0, neighbors=(1,), n=2)
+        b = make_view(pid=1, neighbors=(0,), n=2)
+        a.link[Link.of(0, 1)].beliefs.decrease_reliability(5)
+        mine_before = a.loss_probability(Link.of(0, 1))
+        snap = b.emit_heartbeat(1.0)
+        # NOTE: handle_heartbeat records the arrival success first; undo
+        # that effect by comparing against a fresh computation
+        a.handle_heartbeat(snap, 1.0)
+        # b's estimate (d=0) ties with a's (d=0): not adopted; a's belief
+        # changed only by the success observation, not replaced by b's
+        assert a.link[Link.of(0, 1)].distortion == 0.0
+        assert a.loss_probability(Link.of(0, 1)) < mine_before
+
+
+class TestEvent2:
+    def test_stale_estimates_get_distorted(self):
+        view = make_view(pid=0, neighbors=(1,), n=3)
+        view.proc[2].distortion = 5.0
+        view.staleness_sweep(1.0)
+        assert view.distortion_of(2) == 6.0
+
+    def test_fresh_estimates_untouched(self):
+        view = make_view(pid=0, neighbors=(1,), n=3, delta=2.0)
+        view.proc[2].distortion = 5.0
+        view.proc[2].last_update = 0.5
+        view.staleness_sweep(1.0)  # 0.5 elapsed < 2.0 timeout
+        assert view.distortion_of(2) == 5.0
+
+    def test_neighbors_suspected_and_penalised(self):
+        view = make_view(pid=0, neighbors=(1,), n=3)
+        link_before = view.loss_probability(Link.of(0, 1))
+        crash_before = view.crash_probability(1)
+        suspected = view.staleness_sweep(1.0)
+        assert suspected == [1]
+        assert view.proc[1].suspected == 1
+        assert view.loss_probability(Link.of(0, 1)) > link_before
+        assert view.crash_probability(1) > crash_before
+
+    def test_non_neighbors_not_suspected(self):
+        view = make_view(pid=0, neighbors=(1,), n=3)
+        view.staleness_sweep(1.0)
+        assert view.proc[2].suspected == 0
+
+    def test_self_never_swept(self):
+        view = make_view(pid=0, neighbors=(1,), n=3)
+        view.staleness_sweep(100.0)
+        assert view.distortion_of(0) == 0.0
+
+    def test_sweep_restarts_timeout(self):
+        view = make_view(pid=0, neighbors=(1,), n=2)
+        assert view.staleness_sweep(1.0) == [1]
+        assert view.staleness_sweep(1.5) == []  # timeout restarted at 1.0
+        assert view.staleness_sweep(2.0) == [1]
+
+
+class TestEvents3And4:
+    def test_up_tick_increases_self_reliability(self):
+        view = make_view()
+        before = view.crash_probability(0)
+        view.record_up_tick()
+        assert view.crash_probability(0) < before
+
+    def test_downtime_decreases_self_reliability(self):
+        view = make_view()
+        before = view.crash_probability(0)
+        view.record_downtime(3)
+        assert view.crash_probability(0) > before
+
+    def test_zero_downtime_noop(self):
+        view = make_view()
+        before = view.crash_probability(0)
+        view.record_downtime(0)
+        assert view.crash_probability(0) == before
+
+    def test_negative_downtime_rejected(self):
+        view = make_view()
+        with pytest.raises(ProtocolError):
+            view.record_downtime(-1)
+
+    def test_long_run_estimate_converges(self):
+        """10% of ticks crashed -> self estimate near 0.1."""
+        view = make_view(intervals=100)
+        for i in range(1000):
+            if i % 10 == 0:
+                view.record_downtime(1)
+            else:
+                view.record_up_tick()
+        assert view.crash_probability(0) == pytest.approx(0.1, abs=0.02)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        view = make_view()
+        info = view.summary()
+        assert info["pid"] == 0.0
+        assert info["known_links"] == 2.0
+        assert info["known_processes"] == 1.0  # only self is finite

@@ -1,0 +1,137 @@
+"""Unit tests for the optimal broadcast (Algorithm 1)."""
+
+import pytest
+
+from repro.core.broadcast import DataMessage
+from repro.core.optimal import OptimalBroadcast
+from repro.core.optimize import optimize
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.trace import MessageCategory
+from repro.topology.configuration import Configuration
+from repro.topology.generators import k_regular, line, ring
+from repro.types import Link
+from tests.conftest import build_network
+
+
+def deploy(config, k_target=0.99, seed=0, recompute=False):
+    network = build_network(config, seed)
+    monitor = BroadcastMonitor(config.graph.n)
+    procs = [
+        OptimalBroadcast(p, network, monitor, k_target, recompute)
+        for p in config.graph.processes
+    ]
+    network.start()
+    return network, monitor, procs
+
+
+class TestReliableNetworkBehaviour:
+    def test_everyone_delivers(self):
+        config = Configuration.reliable(ring(8))
+        network, monitor, procs = deploy(config)
+        mid = procs[0].broadcast("payload")
+        network.sim.run_until_idle()
+        assert monitor.fully_delivered(mid)
+
+    def test_minimal_messages_on_reliable_network(self):
+        """With no failures, exactly n-1 data messages (one per tree link)."""
+        config = Configuration.reliable(k_regular(10, 4))
+        network, monitor, procs = deploy(config, k_target=0.9999)
+        procs[0].broadcast("x")
+        network.sim.run_until_idle()
+        assert network.stats.sent(MessageCategory.DATA) == 9
+
+    def test_payload_delivered_intact(self):
+        config = Configuration.reliable(line(3))
+        network, monitor, procs = deploy(config)
+        received = []
+        procs[2].on_deliver = lambda mid, payload: received.append(payload)
+        procs[0].broadcast({"key": "value"})
+        network.sim.run_until_idle()
+        assert received == [{"key": "value"}]
+
+    def test_sender_delivers_immediately(self):
+        config = Configuration.reliable(ring(5))
+        network, monitor, procs = deploy(config)
+        mid = procs[2].broadcast("x")
+        assert monitor.delivery_count(mid) == 1  # the sender itself
+
+    def test_duplicate_receptions_forward_once(self):
+        """Sending multiple copies must not multiply forwarding."""
+        config = Configuration.uniform(line(3), loss=0.2)
+        network, monitor, procs = deploy(config, k_target=0.999)
+        plan = procs[0].build_plan()
+        assert plan.counts[1] > 1  # lossy: multiple copies planned
+        procs[0].broadcast("x")
+        network.sim.run_until_idle()
+        # process 1 forwards to 2 exactly counts[2] copies, once
+        assert network.stats.sent_on(Link.of(1, 2)) == plan.counts[2]
+
+
+class TestPlanConstruction:
+    def test_plan_meets_target(self, small_config):
+        network, monitor, procs = deploy(small_config, k_target=0.999)
+        plan = procs[0].build_plan()
+        assert plan.achieved >= 0.999
+
+    def test_plan_total_is_message_budget(self, small_config):
+        network, monitor, procs = deploy(small_config)
+        plan = procs[0].build_plan()
+        assert plan.total_messages == sum(plan.counts.values())
+
+    def test_receiver_recompute_matches_carried_counts(self, small_config):
+        """Algorithm 1 line 9 (recompute) equals carrying the vector."""
+        network, monitor, procs = deploy(small_config, k_target=0.99)
+        tree = procs[0].plan_tree()
+        carried = optimize(tree, 0.99, small_config).counts
+        recomputed = optimize(tree, 0.99, small_config).counts
+        assert carried == recomputed
+
+    def test_recompute_mode_end_to_end(self, small_config):
+        network, monitor, procs = deploy(
+            small_config, k_target=0.99, recompute=True
+        )
+        mid = procs[0].broadcast("x")
+        network.sim.run_until_idle()
+        assert monitor.delivery_ratio(mid) >= 0.5  # sanity: it propagates
+
+
+class TestLossyNetworkBehaviour:
+    def test_empirical_reliability_near_target(self):
+        """Over many seeded runs, the all-reached frequency ~ meets K."""
+        graph = k_regular(12, 4)
+        config = Configuration.uniform(graph, loss=0.15)
+        k_target = 0.9
+        reached = 0
+        trials = 120
+        for seed in range(trials):
+            network, monitor, procs = deploy(config, k_target, seed=seed)
+            mid = procs[0].broadcast("x")
+            network.sim.run_until_idle()
+            reached += monitor.fully_delivered(mid)
+        # binomial(120, 0.9) 3-sigma lower bound ≈ 0.81
+        assert reached / trials >= 0.81
+
+    def test_message_count_matches_plan_when_tree_survives(self):
+        config = Configuration.uniform(line(2), loss=0.3)
+        network, monitor, procs = deploy(config, k_target=0.99)
+        plan = procs[0].build_plan()
+        procs[0].broadcast("x")
+        network.sim.run_until_idle()
+        # single link: origin always sends the planned copies
+        assert network.stats.sent(MessageCategory.DATA) == plan.total_messages
+
+
+class TestMessageHandling:
+    def test_non_data_messages_ignored(self):
+        config = Configuration.reliable(line(2))
+        network, monitor, procs = deploy(config)
+        network.send(0, 1, "garbage")
+        network.sim.run_until_idle()
+        assert monitor.broadcast_ids() == []
+
+    def test_mid_uniqueness(self):
+        config = Configuration.reliable(ring(4))
+        network, monitor, procs = deploy(config)
+        mids = {procs[0].broadcast(i) for i in range(5)}
+        mids |= {procs[1].broadcast(i) for i in range(5)}
+        assert len(mids) == 10

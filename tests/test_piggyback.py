@@ -1,0 +1,95 @@
+"""Tests for knowledge piggybacking on data messages (Section 4.1)."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveBroadcast,
+    AdaptiveParameters,
+    PiggybackedData,
+)
+from repro.core.knowledge import KnowledgeParameters
+from repro.sim.monitors import BroadcastMonitor
+from repro.sim.trace import MessageCategory
+from repro.topology.configuration import Configuration
+from repro.topology.generators import ring
+from tests.conftest import build_network
+
+
+def deploy(config, piggyback, seed=0, delta=1.0):
+    network = build_network(config, seed)
+    monitor = BroadcastMonitor(config.graph.n)
+    params = AdaptiveParameters(
+        knowledge=KnowledgeParameters(delta=delta, intervals=50, tick=delta),
+        piggyback_knowledge=piggyback,
+    )
+    procs = [
+        AdaptiveBroadcast(p, network, monitor, 0.95, params)
+        for p in config.graph.processes
+    ]
+    network.start()
+    return network, monitor, procs
+
+
+class TestPiggybackedData:
+    def test_data_messages_carry_snapshots(self):
+        config = Configuration.reliable(ring(6))
+        network, monitor, procs = deploy(config, piggyback=True)
+        network.sim.run(until=10.0)
+        mid = procs[0].broadcast("payload")
+        network.sim.run(until=15.0)
+        assert monitor.fully_delivered(mid)
+
+    def test_broadcast_advances_knowledge(self):
+        """Data traffic doubles as heartbeats: receivers learn from it."""
+        config = Configuration.reliable(ring(6))
+        # long delta: periodic heartbeats barely fire, data must teach
+        network, monitor, procs = deploy(config, piggyback=True, delta=50.0)
+        # process 0 warms up its own view via one heartbeat exchange
+        network.sim.run(until=55.0)
+        known_before = len(procs[2].view.known_links)
+        procs[0].broadcast("teach")
+        network.sim.run(until=60.0)
+        known_after = len(procs[2].view.known_links)
+        assert known_after >= known_before
+
+    def test_piggyback_off_sends_plain_data(self):
+        config = Configuration.reliable(ring(4))
+        network, monitor, procs = deploy(config, piggyback=False)
+        network.sim.run(until=5.0)
+        captured = []
+        original = procs[1].on_message
+
+        def spy(sender, payload):
+            captured.append(payload)
+            original(sender, payload)
+
+        procs[1].on_message = spy
+        procs[0].broadcast("plain")
+        network.sim.run(until=8.0)
+        assert not any(isinstance(m, PiggybackedData) for m in captured)
+
+    def test_piggyback_on_wraps_data(self):
+        config = Configuration.reliable(ring(4))
+        network, monitor, procs = deploy(config, piggyback=True)
+        network.sim.run(until=5.0)
+        captured = []
+        original = procs[1].on_message
+
+        def spy(sender, payload):
+            captured.append(payload)
+            original(sender, payload)
+
+        procs[1].on_message = spy
+        procs[0].broadcast("wrapped")
+        network.sim.run(until=8.0)
+        assert any(isinstance(m, PiggybackedData) for m in captured)
+
+    def test_delivery_semantics_unchanged(self):
+        """Piggybacking must not alter what gets delivered or how often."""
+        config = Configuration.uniform(ring(6), loss=0.1)
+        for piggyback in (False, True):
+            network, monitor, procs = deploy(config, piggyback, seed=5)
+            network.sim.run(until=20.0)
+            mid = procs[0].broadcast("x")
+            network.sim.run(until=30.0)
+            assert monitor.delivery_count(mid) >= 4

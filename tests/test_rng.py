@@ -1,0 +1,116 @@
+"""Unit tests for deterministic random streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RandomSource, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_order_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_no_concatenation_collision(self):
+        """("ab", "c") must differ from ("a", "bc") — length prefixing."""
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_tuple_seeds(self):
+        assert derive_seed(("x", 1)) == derive_seed(("x", 1))
+        assert derive_seed(("x", 1)) != derive_seed(("x", 2))
+
+    def test_float_and_bool_seeds(self):
+        assert derive_seed(0.5) != derive_seed(0.25)
+        assert derive_seed(True) != derive_seed(False)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            derive_seed(object())
+
+
+class TestRandomSource:
+    def test_reproducible(self):
+        a = RandomSource(42).random()
+        b = RandomSource(42).random()
+        assert a == b
+
+    def test_children_independent_of_sibling_draws(self):
+        root1 = RandomSource(42)
+        _ = root1.child("other").random_array(100)
+        value1 = root1.child("target").random()
+        value2 = RandomSource(42).child("target").random()
+        assert value1 == value2
+
+    def test_child_streams_differ(self):
+        root = RandomSource(7)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_requires_seed(self):
+        with pytest.raises(ValueError):
+            RandomSource()
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(1)
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+        assert not rng.bernoulli_array(0.0, 10).any()
+        assert rng.bernoulli_array(1.0, 10).all()
+
+    def test_bernoulli_rate(self):
+        rng = RandomSource(3)
+        draws = rng.bernoulli_array(0.3, 20_000)
+        assert 0.28 < draws.mean() < 0.32
+
+    def test_integer_range(self):
+        rng = RandomSource(5)
+        values = {rng.integer(3) for _ in range(200)}
+        assert values == {0, 1, 2}
+        values = {rng.integer(5, 8) for _ in range(200)}
+        assert values == {5, 6, 7}
+
+    def test_choice(self):
+        rng = RandomSource(5)
+        assert rng.choice(["x"]) == "x"
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_sample_distinct(self):
+        rng = RandomSource(5)
+        out = rng.sample(list(range(10)), 5)
+        assert len(set(out)) == 5
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], 3)
+
+    def test_shuffled_is_permutation(self):
+        rng = RandomSource(9)
+        items = list(range(20))
+        out = rng.shuffled(items)
+        assert sorted(out) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_exponential_mean(self):
+        rng = RandomSource(11)
+        values = [rng.exponential(2.0) for _ in range(5000)]
+        assert 1.85 < np.mean(values) < 2.15
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_geometric(self):
+        rng = RandomSource(13)
+        values = [rng.geometric(0.5) for _ in range(2000)]
+        assert min(values) >= 1
+        assert 1.85 < np.mean(values) < 2.15
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+
+    def test_spawn_sequence_unique(self):
+        rng = RandomSource(1)
+        gen = rng.spawn_sequence("workers")
+        first, second = next(gen), next(gen)
+        assert first.random() != second.random()
+
+    def test_seed_parts_exposed(self):
+        rng = RandomSource("root").child("x", 2)
+        assert rng.seed_parts == ("root", "x", 2)

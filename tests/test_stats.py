@@ -1,0 +1,173 @@
+"""Unit tests for streaming statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    Histogram,
+    OnlineStats,
+    mean_confidence_interval,
+    percentile,
+    z_quantile,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_empty_raises(self):
+        s = OnlineStats()
+        with pytest.raises(ValueError):
+            _ = s.mean
+        with pytest.raises(ValueError):
+            _ = s.minimum
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(4.0)
+        assert s.mean == 4.0
+        assert s.variance == 0.0
+        assert s.stderr == 0.0
+        assert s.minimum == s.maximum == 4.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.stdev == pytest.approx(np.std([2, 4, 4, 4, 5, 5, 7, 9], ddof=1))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        s = OnlineStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(
+            float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6
+        )
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=60),
+        st.lists(finite_floats, min_size=1, max_size=60),
+    )
+    def test_merge_equals_sequential(self, a, b):
+        merged = OnlineStats()
+        merged.extend(a)
+        other = OnlineStats()
+        other.extend(b)
+        merged.merge(other)
+        sequential = OnlineStats()
+        sequential.extend(a + b)
+        assert merged.count == sequential.count
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            sequential.variance, rel=1e-6, abs=1e-6
+        )
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.extend([1.0, 2.0])
+        s.merge(OnlineStats())
+        assert s.count == 2
+        empty = OnlineStats()
+        empty.merge(s)
+        assert empty.count == 2
+        assert empty.mean == 1.5
+
+    def test_confidence_interval_contains_mean(self):
+        s = OnlineStats()
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        lo, hi = s.confidence_interval(0.95)
+        assert lo <= s.mean <= hi
+
+    def test_summary_snapshot(self):
+        s = OnlineStats()
+        s.extend([1.0, 3.0])
+        summary = s.summary()
+        assert summary.count == 2
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+
+class TestZQuantile:
+    def test_table_values(self):
+        assert z_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_acklam_fallback_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for level in (0.85, 0.925, 0.975, 0.999):
+            expected = float(scipy_stats.norm.ppf(0.5 + level / 2))
+            assert z_quantile(level) == pytest.approx(expected, abs=1e-7)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            z_quantile(0.0)
+        with pytest.raises(ValueError):
+            z_quantile(1.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_matches_numpy(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-6
+        )
+
+
+class TestMeanConfidenceInterval:
+    def test_basic(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert lo < 2.0 < hi
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = Histogram(lo=0.0, hi=10.0, bins=5)
+        for v in [0.5, 1.5, 9.9, 5.0]:
+            h.add(v)
+        assert h.counts == [2, 0, 1, 0, 1]
+        assert h.total == 4
+
+    def test_overflow_underflow(self):
+        h = Histogram(lo=0.0, hi=1.0, bins=2)
+        h.add(-0.1)
+        h.add(1.0)
+        assert h.underflow == 1
+        assert h.overflow == 1
+
+    def test_bin_edges(self):
+        h = Histogram(lo=0.0, hi=1.0, bins=2)
+        assert h.bin_edges() == [(0.0, 0.5), (0.5, 1.0)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Histogram(lo=1.0, hi=0.0, bins=3)
+        with pytest.raises(ValueError):
+            Histogram(lo=0.0, hi=1.0, bins=0)

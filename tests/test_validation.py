@@ -1,0 +1,91 @@
+"""Unit tests for validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_not_empty,
+    check_open_probability,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), "0.5", None, True])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="loss_rate"):
+            check_probability(2.0, "loss_rate")
+
+
+class TestCheckOpenProbability:
+    def test_rejects_bounds(self):
+        with pytest.raises(ValidationError):
+            check_open_probability(0.0, "p")
+        with pytest.raises(ValidationError):
+            check_open_probability(1.0, "p")
+
+    def test_accepts_interior(self):
+        assert check_open_probability(0.999, "p") == 0.999
+
+
+class TestNumericChecks:
+    def test_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+        for bad in (0, -1, math.inf, math.nan, "x", False):
+            with pytest.raises(ValidationError):
+                check_positive(bad, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.001, "x")
+        with pytest.raises(ValidationError):
+            check_non_negative(math.inf, "x")
+
+    def test_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        for bad in (0, -2, 1.5, True):
+            with pytest.raises(ValidationError):
+                check_positive_int(bad, "n")
+
+    def test_non_negative_int(self):
+        assert check_non_negative_int(0, "n") == 0
+        for bad in (-1, 0.0, True):
+            with pytest.raises(ValidationError):
+                check_non_negative_int(bad, "n")
+
+    def test_in_range(self):
+        assert check_in_range(5, 0, 10, "x") == 5.0
+        with pytest.raises(ValidationError):
+            check_in_range(11, 0, 10, "x")
+        with pytest.raises(ValidationError):
+            check_in_range(math.nan, 0, 10, "x")
+
+
+class TestCheckNotEmpty:
+    def test_accepts_non_empty(self):
+        check_not_empty([1], "items")
+        check_not_empty({"a": 1}, "items")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_not_empty([], "items")
+
+    def test_rejects_unsized(self):
+        with pytest.raises(ValidationError):
+            check_not_empty(iter([1]), "items")

@@ -1,0 +1,232 @@
+"""VectorView unit tests + differential tests against ProcessView.
+
+The vectorised implementation must be behaviourally identical to the
+object one; these tests drive both through the same event sequences and
+compare every observable.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.core.knowledge import KnowledgeParameters, ProcessView
+from repro.core.viewtable import VectorView
+from repro.topology.generators import k_regular, ring
+from repro.topology.graph import Graph
+from repro.types import Link
+from repro.util.rng import RandomSource
+
+PARAMS = KnowledgeParameters(delta=1.0, intervals=20, tick=1.0)
+
+
+def make_pair(graph, pid):
+    """Matching (ProcessView, VectorView) for one process."""
+    obj = ProcessView(pid, graph.n, graph.neighbors(pid), PARAMS)
+    vec = VectorView(pid, graph, PARAMS)
+    return obj, vec
+
+
+def assert_equivalent(graph, obj: ProcessView, vec: VectorView):
+    """All observables of both implementations agree."""
+    assert obj.known_links == vec.known_links
+    for p in graph.processes:
+        assert obj.crash_probability(p) == pytest.approx(
+            vec.crash_probability(p), abs=1e-9
+        ), f"crash estimate of {p}"
+        od, vd = obj.distortion_of(p), vec.distortion_of(p)
+        assert (math.isinf(od) and math.isinf(vd)) or od == vd
+        assert obj.proc[p].seq == vec.proc_seq[p]
+        assert obj.proc[p].suspected == vec.proc_suspected[p]
+        assert obj.timeout[p] == vec.timeout[p]
+        assert obj.proc_map_interval(p) == vec.proc_map_interval(p)
+    for link in graph.links:
+        assert obj.knows_link(link) == vec.knows_link(link)
+        if obj.knows_link(link):
+            assert obj.loss_probability(link) == pytest.approx(
+                vec.loss_probability(link), abs=1e-9
+            ), f"loss estimate of {link}"
+            assert obj.link_distortion(link) == vec.link_distortion(link)
+
+
+class TestVectorViewBasics:
+    def test_initial_state(self):
+        g = ring(5)
+        vec = VectorView(0, g, PARAMS)
+        assert vec.distortion_of(0) == 0.0
+        assert math.isinf(vec.distortion_of(2))
+        assert vec.known_links == {Link.of(0, 1), Link.of(0, 4)}
+        assert not vec.all_links_known()
+        assert vec.crash_probability(2) == pytest.approx(0.5)
+
+    def test_unknown_link_raises(self):
+        g = ring(5)
+        vec = VectorView(0, g, PARAMS)
+        with pytest.raises(ProtocolError):
+            vec.loss_probability(Link.of(1, 2))
+        with pytest.raises(ProtocolError):
+            vec.link_map_interval(Link.of(1, 2))
+
+    def test_invalid_pid(self):
+        with pytest.raises(ProtocolError):
+            VectorView(9, ring(5), PARAMS)
+
+    def test_heartbeat_from_non_neighbor_rejected(self):
+        g = ring(5)
+        a = VectorView(0, g, PARAMS)
+        c = VectorView(2, g, PARAMS)
+        snap = c.emit_heartbeat(1.0)
+        with pytest.raises(ProtocolError):
+            a.handle_heartbeat(snap, 1.0)
+
+    def test_point_estimate_vectors(self):
+        g = ring(4)
+        vec = VectorView(0, g, PARAMS)
+        points = vec.proc_point_estimates()
+        assert points.shape == (4,)
+        assert np.allclose(points, 0.5)
+        links = vec.link_point_estimates()
+        known = ~np.isnan(links)
+        assert known.sum() == 2
+
+    def test_map_interval_vectors(self):
+        g = ring(4)
+        vec = VectorView(0, g, PARAMS)
+        assert (vec.link_map_intervals() == -1).sum() == 2  # unknown rows
+
+    def test_downtime_validation(self):
+        vec = VectorView(0, ring(4), PARAMS)
+        with pytest.raises(ProtocolError):
+            vec.record_downtime(-2)
+
+
+class _Driver:
+    """Replays an identical event schedule on both implementations."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.pairs = {p: make_pair(graph, p) for p in graph.processes}
+
+    def exchange(self, sender, receiver, now):
+        obj_s, vec_s = self.pairs[sender]
+        obj_r, vec_r = self.pairs[receiver]
+        obj_r.handle_heartbeat(obj_s.emit_heartbeat(now), now)
+        vec_r.handle_heartbeat(vec_s.emit_heartbeat(now), now)
+
+    def emit_lost(self, sender, now):
+        """Heartbeat emitted but delivered to nobody."""
+        obj_s, vec_s = self.pairs[sender]
+        obj_s.emit_heartbeat(now)
+        vec_s.emit_heartbeat(now)
+
+    def sweep(self, pid, now):
+        obj, vec = self.pairs[pid]
+        assert obj.staleness_sweep(now) == vec.staleness_sweep(now)
+
+    def tick(self, pid, crashed):
+        obj, vec = self.pairs[pid]
+        if crashed:
+            obj.record_downtime(1)
+            vec.record_downtime(1)
+        else:
+            obj.record_up_tick()
+            vec.record_up_tick()
+
+    def check(self):
+        for p in self.graph.processes:
+            obj, vec = self.pairs[p]
+            assert_equivalent(self.graph, obj, vec)
+
+
+class TestDifferentialEquivalence:
+    def test_single_exchange(self):
+        d = _Driver(ring(4))
+        d.exchange(1, 0, 1.0)
+        d.check()
+
+    def test_bidirectional_exchanges(self):
+        d = _Driver(ring(4))
+        for t in range(1, 5):
+            d.exchange(1, 0, float(t))
+            d.exchange(0, 1, float(t))
+        d.check()
+
+    def test_lost_heartbeats_and_sweeps(self):
+        d = _Driver(ring(4))
+        d.exchange(1, 0, 1.0)
+        d.emit_lost(1, 2.0)
+        d.sweep(0, 3.0)
+        d.exchange(1, 0, 3.5)
+        d.check()
+
+    def test_topology_propagation(self):
+        d = _Driver(ring(5))
+        # ripple topology knowledge around the ring
+        for t in range(1, 6):
+            for p in range(5):
+                d.exchange(p, (p + 1) % 5, float(t))
+        d.check()
+        obj0, vec0 = d.pairs[0]
+        assert len(obj0.known_links) == 5
+
+    def test_self_ticks(self):
+        d = _Driver(ring(4))
+        for i in range(30):
+            d.tick(0, crashed=(i % 7 == 0))
+        d.exchange(0, 1, 1.0)
+        d.check()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_schedules(self, seed):
+        """Random mixed event schedules keep both implementations equal."""
+        rng = RandomSource("diff", seed)
+        g = k_regular(6, 4)
+        d = _Driver(g)
+        now = 0.0
+        for _ in range(40):
+            now += 0.5
+            action = rng.integer(4)
+            if action == 0:
+                sender = rng.integer(6)
+                receivers = list(g.neighbors(sender))
+                receiver = receivers[rng.integer(len(receivers))]
+                d.exchange(sender, receiver, now)
+            elif action == 1:
+                d.emit_lost(rng.integer(6), now)
+            elif action == 2:
+                d.sweep(rng.integer(6), now)
+            else:
+                d.tick(rng.integer(6), crashed=bool(rng.integer(2)))
+        d.check()
+
+
+class TestVectorMergeDetails:
+    def test_new_links_adopted_with_distortion(self):
+        g = ring(5)
+        a = VectorView(0, g, PARAMS)
+        b = VectorView(1, g, PARAMS)
+        a.handle_heartbeat(b.emit_heartbeat(1.0), 1.0)
+        assert a.knows_link(Link.of(1, 2))
+        assert a.link_distortion(Link.of(1, 2)) == 1.0
+
+    def test_seq_tracked_from_snapshots(self):
+        g = ring(5)
+        a = VectorView(0, g, PARAMS)
+        b = VectorView(1, g, PARAMS)
+        b.emit_heartbeat(1.0)  # lost
+        b.emit_heartbeat(2.0)  # lost
+        a.handle_heartbeat(b.emit_heartbeat(3.0), 3.0)
+        assert a.proc_seq[1] == 3
+
+    def test_all_links_known_after_full_gossip(self):
+        g = ring(4)
+        views = {p: VectorView(p, g, PARAMS) for p in g.processes}
+        for t in range(1, 5):
+            for p in g.processes:
+                snap = views[p].emit_heartbeat(float(t))
+                for q in g.neighbors(p):
+                    views[q].handle_heartbeat(snap, float(t))
+        assert all(v.all_links_known() for v in views.values())
