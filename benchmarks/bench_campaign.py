@@ -1,0 +1,74 @@
+"""Campaign runner — parallel fan-out and cache-hit fast path.
+
+Benchmarks the campaign subsystem on the Figure 4(b) workload: a
+multi-worker campaign must produce the exact table the serial builder
+does (asserted, not assumed), and a warm cache must make regeneration
+nearly free.  At ``full`` scale the parallel run is where the paper-
+sized sweep (n=100, 10 connectivities, 200 calibration trials per
+point) stops being an overnight job.
+"""
+
+import os
+
+from repro.experiments.campaign import Campaign
+from repro.experiments.figure4 import figure4_table
+from repro.experiments.runner import scaled
+from repro.util.cache import TrialCache
+
+
+def _tuned(scale):
+    """Trim the sweep at non-full scales to keep the bench brisk."""
+    if scale.name == "full":
+        return scale
+    return scaled(
+        scale,
+        connectivities=tuple(k for k in scale.connectivities if k <= 8),
+    )
+
+
+def test_campaign_parallel_figure4(benchmark, record, scale):
+    workers = max(2, min(4, os.cpu_count() or 1))
+    campaigns = []
+
+    def run():
+        campaign = Campaign(workers=workers)
+        campaigns.append(campaign)
+        return figure4_table(
+            variant="loss", scale=_tuned(scale), values=(0.05,), campaign=campaign
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "Campaign parallel Figure 4b",
+        f"figure4b L=0.05 via {workers}-worker campaign",
+        table,
+        notes=f"{campaigns[-1].executed} trials executed across {workers} workers",
+    )
+    # parallel execution must be bit-identical to the serial builder
+    serial = figure4_table(variant="loss", scale=_tuned(scale), values=(0.05,))
+    assert table.render() == serial.render()
+
+
+def test_campaign_cache_hit(benchmark, record, scale, tmp_path):
+    cache = TrialCache(str(tmp_path))
+    warm = Campaign(cache=cache)
+    figure4_table(variant="loss", scale=_tuned(scale), values=(0.05,), campaign=warm)
+    assert warm.executed > 0
+
+    campaigns = []
+
+    def rerun():
+        campaign = Campaign(cache=cache)
+        campaigns.append(campaign)
+        return figure4_table(
+            variant="loss", scale=_tuned(scale), values=(0.05,), campaign=campaign
+        )
+
+    table = benchmark.pedantic(rerun, rounds=1, iterations=1)
+    record(
+        "Campaign cache hit Figure 4b",
+        "figure4b L=0.05 rebuilt entirely from the on-disk trial cache",
+        table,
+        notes=f"{campaigns[-1].cached} cache hits, {campaigns[-1].executed} executed",
+    )
+    assert campaigns[-1].executed == 0

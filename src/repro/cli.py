@@ -10,24 +10,38 @@ Usage::
     python -m repro figure6 --scale full
     python -m repro demo                     # 30-second end-to-end demo
 
+    # parallel + cached + resumable campaigns over the same experiments
+    python -m repro campaign figure4a --workers 4 --scale quick
+    python -m repro campaign figure6 --sweep topology=tree --sweep size=24,48
+    python -m repro campaign figure4b --sweep loss=0.01,0.05 --sweep connectivity=2,4
+
 Each experiment prints the regenerated data series (the same rows the
-paper plots) and, with ``--out``, writes text/JSON artefacts.
+paper plots) and, with ``--out``, writes text/JSON artefacts.  The
+``campaign`` subcommand runs the simulated experiments through
+:class:`repro.experiments.campaign.Campaign`: trials fan out over worker
+processes, completed trials persist in an on-disk cache (so interrupted
+or repeated campaigns only pay for what never finished), and the printed
+table is bit-identical to the serial command's.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.errors import ValidationError
+from repro.experiments.campaign import Campaign, SweepValue, parse_sweeps
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.figure4 import figure4_table
 from repro.experiments.figure5 import figure5_table
 from repro.experiments.figure6 import figure6_table
 from repro.experiments.heterogeneous import heterogeneity_table
 from repro.experiments.report import ExperimentRecord, ReportWriter
-from repro.experiments.runner import ExperimentScale, current_scale
+from repro.experiments.runner import ExperimentScale, current_scale, scaled
 from repro.experiments.table1 import table1_render
+from repro.util.cache import TrialCache, default_cache_dir
 from repro.util.tables import SeriesTable
 
 _EXPERIMENTS: Dict[str, str] = {
@@ -41,18 +55,142 @@ _EXPERIMENTS: Dict[str, str] = {
     "heterogeneous": "extension: uniform vs heterogeneous environments",
 }
 
+#: Simulated experiments a campaign can run (the analytic ones are instant).
+CAMPAIGN_EXPERIMENTS = (
+    "figure4a",
+    "figure4b",
+    "figure5a",
+    "figure5b",
+    "figure6",
+    "heterogeneous",
+)
 
-def _build(name: str, scale: ExperimentScale) -> SeriesTable:
+#: Sweepable keys per campaign experiment (``--sweep key=v1,v2,...``).
+_SWEEP_KEYS: Dict[str, Sequence[str]] = {
+    "figure4a": ("connectivity", "crash", "n", "trials"),
+    "figure4b": ("connectivity", "loss", "n", "trials"),
+    "figure5a": ("connectivity", "crash", "n", "trials"),
+    "figure5b": ("connectivity", "loss", "n", "trials"),
+    "figure6": ("size", "topology", "loss", "trials"),
+    "heterogeneous": ("connectivity", "loss", "n", "trials"),
+}
+
+
+def _build(
+    name: str, scale: ExperimentScale, campaign: Optional[Campaign] = None
+) -> SeriesTable:
     builders: Dict[str, Callable[[], SeriesTable]] = {
         "figure1": figure1_table,
-        "figure4a": lambda: figure4_table(variant="crash", scale=scale),
-        "figure4b": lambda: figure4_table(variant="loss", scale=scale),
-        "figure5a": lambda: figure5_table(variant="crash", scale=scale),
-        "figure5b": lambda: figure5_table(variant="loss", scale=scale),
-        "figure6": lambda: figure6_table(scale=scale),
-        "heterogeneous": lambda: heterogeneity_table(scale=scale),
+        "figure4a": lambda: figure4_table(
+            variant="crash", scale=scale, campaign=campaign
+        ),
+        "figure4b": lambda: figure4_table(
+            variant="loss", scale=scale, campaign=campaign
+        ),
+        "figure5a": lambda: figure5_table(
+            variant="crash", scale=scale, campaign=campaign
+        ),
+        "figure5b": lambda: figure5_table(
+            variant="loss", scale=scale, campaign=campaign
+        ),
+        "figure6": lambda: figure6_table(scale=scale, campaign=campaign),
+        "heterogeneous": lambda: heterogeneity_table(
+            scale=scale, campaign=campaign
+        ),
     }
     return builders[name]()
+
+
+def _single(values: List[SweepValue], key: str) -> float:
+    if len(values) != 1:
+        raise ValidationError(
+            f"sweep key {key!r} accepts exactly one value here, got {values}"
+        )
+    return float(values[0])
+
+
+def build_campaign_table(
+    name: str,
+    scale: ExperimentScale,
+    sweeps: Dict[str, List[SweepValue]],
+    campaign: Campaign,
+) -> SeriesTable:
+    """Apply sweep overrides to ``scale`` and run one campaign experiment."""
+    allowed = _SWEEP_KEYS[name]
+    for key in sweeps:
+        if key not in allowed:
+            raise ValidationError(
+                f"experiment {name!r} does not sweep {key!r}; "
+                f"supported keys: {', '.join(allowed)}"
+            )
+    sweeps = dict(sweeps)
+    if "n" in sweeps:
+        scale = scaled(scale, n=int(_single(sweeps.pop("n"), "n")))
+    trials_override: Optional[int] = None
+    if "trials" in sweeps:
+        trials_override = int(_single(sweeps.pop("trials"), "trials"))
+        if trials_override < 1:
+            raise ValidationError(
+                f"swept trials must be >= 1, got {trials_override}"
+            )
+    connectivities: Optional[tuple] = None
+    if "connectivity" in sweeps:
+        connectivities = tuple(int(v) for v in sweeps.pop("connectivity"))
+        # an explicitly swept value must never be silently dropped by the
+        # builders' connectivity < n grid filter
+        bad = [k for k in connectivities if k >= scale.n]
+        if bad:
+            raise ValidationError(
+                f"swept connectivity values {bad} must be below n={scale.n} "
+                "(sweep n=... too, or pick smaller values)"
+            )
+        scale = scaled(scale, connectivities=connectivities)
+
+    if name in ("figure4a", "figure4b", "heterogeneous") and trials_override is not None:
+        scale = scaled(scale, trials=trials_override)
+
+    if name in ("figure4a", "figure5a", "figure4b", "figure5b"):
+        variant = "crash" if name.endswith("a") else "loss"
+        values = sweeps.pop(variant, None)
+        if name.startswith("figure4"):
+            return figure4_table(
+                variant=variant,
+                scale=scale,
+                values=tuple(float(v) for v in values) if values else None,
+                campaign=campaign,
+            )
+        # figure5: pass trials explicitly so a swept count is used as-is
+        # instead of being rescaled through scale.convergence_trials()
+        return figure5_table(
+            variant=variant,
+            scale=scale,
+            values=tuple(float(v) for v in values) if values else None,
+            trials=trials_override,
+            campaign=campaign,
+        )
+    if name == "figure6":
+        sizes = sweeps.pop("size", None)
+        topologies = sweeps.pop("topology", None)
+        losses = sweeps.pop("loss", None)
+        return figure6_table(
+            scale=scale,
+            sizes=tuple(int(v) for v in sizes) if sizes else None,
+            trials=trials_override,
+            topologies=tuple(str(v) for v in topologies) if topologies else None,
+            losses=tuple(float(v) for v in losses) if losses else None,
+            campaign=campaign,
+        )
+    if name == "heterogeneous":
+        mean_loss = 0.05
+        if "loss" in sweeps:
+            mean_loss = _single(sweeps.pop("loss"), "loss")
+        return heterogeneity_table(
+            scale=scale,
+            mean_loss=mean_loss,
+            connectivities=connectivities,
+            campaign=campaign,
+        )
+    raise ValidationError(f"unknown campaign experiment {name!r}")
 
 
 def _run_demo() -> int:
@@ -127,7 +265,100 @@ def make_parser() -> argparse.ArgumentParser:
             default=None,
             help="also write text/JSON artefacts to DIR",
         )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a simulated experiment in parallel with result caching",
+        description=(
+            "Run one of the simulated experiments as a campaign: trials "
+            "fan out across worker processes and completed trials are "
+            "cached on disk, so re-runs and interrupted sweeps resume "
+            "for free.  Output is bit-identical to the serial command."
+        ),
+    )
+    camp.add_argument("experiment", choices=CAMPAIGN_EXPERIMENTS)
+    camp.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="experiment size preset (default: REPRO_BENCH_SCALE or 'default')",
+    )
+    camp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: all CPUs)",
+    )
+    camp.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help=(
+            "override one sweep axis; repeatable (e.g. --sweep "
+            "connectivity=2,4,8 --sweep loss=0.01,0.05 --sweep topology=tree)"
+        ),
+    )
+    camp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"trial cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+    )
+    camp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk trial cache",
+    )
+    camp.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write text/JSON artefacts (with campaign metadata) to DIR",
+    )
     return parser
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    scale = current_scale(args.scale)
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    try:
+        campaign = Campaign(workers=workers, cache=cache)
+        sweeps = parse_sweeps(args.sweep)
+        table = build_campaign_table(args.experiment, scale, sweeps, campaign)
+    except ValueError as exc:
+        # ValidationError and the builders' ValueErrors (bad variant,
+        # bad topology, bad worker count) all surface as clean usage errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(table.render())
+    summary = (
+        f"campaign: {campaign.executed} trials executed, "
+        f"{campaign.cached} cache hits "
+        f"(workers={workers}, cache={cache.directory if cache else 'off'})"
+    )
+    print(f"\n{summary}")
+    if args.out:
+        writer = ReportWriter(args.out)
+        writer.add(
+            ExperimentRecord(
+                experiment_id=args.experiment,
+                description=_EXPERIMENTS[args.experiment],
+                scale=scale.name,
+                table=table,
+                metadata={
+                    "workers": workers,
+                    "trials_executed": campaign.executed,
+                    "cache_hits": campaign.cached,
+                    "cache_dir": cache.directory if cache else None,
+                    "sweeps": args.sweep,
+                },
+            )
+        )
+        print(f"artefacts written to {args.out}/")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -136,9 +367,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         width = max(len(n) for n in _EXPERIMENTS)
         for name, description in _EXPERIMENTS.items():
             print(f"  {name:<{width}}  {description}")
+        print(
+            "\n  campaign <experiment>  parallel cached run of any "
+            "simulated experiment above"
+        )
         return 0
     if args.command == "demo":
         return _run_demo()
+    if args.command == "campaign":
+        return _run_campaign(args)
 
     scale = current_scale(args.scale)
     if args.command == "table1":

@@ -9,10 +9,13 @@ reliability empirically needs orders of magnitude more trials than a
 laptop benchmark should burn, so each experiment accepts an
 :class:`ExperimentScale` (default: reduced sizes, ``K = 0.99``) and the
 ``REPRO_BENCH_SCALE`` environment variable selects ``quick`` /
-``default`` / ``full`` (paper-sized) presets.  EXPERIMENTS.md records
-paper-vs-measured for both.
+``default`` / ``full`` (paper-sized) presets.  The README's
+paper-mapping table links every figure to its module, benchmark and
+tests; ``docs/architecture.md`` describes the campaign runner that
+executes these experiments in parallel with on-disk caching.
 """
 
+from repro.experiments.campaign import Campaign, TrialSpec, execute_spec
 from repro.experiments.runner import ExperimentScale, TrialRunner, current_scale
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.figure4 import figure4_table
@@ -22,9 +25,12 @@ from repro.experiments.heterogeneous import heterogeneity_table
 from repro.experiments.table1 import table1_render
 
 __all__ = [
+    "Campaign",
     "ExperimentScale",
     "TrialRunner",
+    "TrialSpec",
     "current_scale",
+    "execute_spec",
     "figure1_table",
     "figure4_table",
     "figure5_table",

@@ -1,0 +1,277 @@
+"""Parallel, cached, resumable execution of experiment trial sweeps.
+
+The figure experiments all reduce to the same shape of work: a grid of
+*points* (connectivity x probability x topology ...), each point needing
+several independently seeded simulation trials, aggregated with
+:class:`repro.util.stats.OnlineStats`.  The seed runner executed that
+grid strictly serially; this module fans it out across worker processes
+while keeping the results **bit-identical** to serial execution:
+
+* every trial is described by a :class:`TrialSpec` — a pure function
+  (named ``"package.module:function"``) plus JSON-able keyword
+  parameters that fully determine its :class:`~repro.util.rng.RandomSource`
+  substream, so a trial computes the same floats no matter which process
+  (or machine) runs it;
+* the campaign collects results *in submission order* and the callers
+  fold them into ``OnlineStats`` in that same order, so aggregate means
+  are exactly — not just statistically — equal to the serial runner's;
+* completed trials are persisted in a :class:`~repro.util.cache.TrialCache`
+  keyed by the spec's content hash, so re-runs and interrupted campaigns
+  resume for free (only never-finished trials execute).
+
+Workers use the ``spawn`` start method: child processes re-import the
+experiment modules and resolve the trial function by name, so no live
+simulator state ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.util.cache import TrialCache, content_key
+from repro.util.stats import OnlineStats
+
+#: Result type every trial function must return.
+TrialResult = Dict[str, float]
+
+SweepValue = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of campaign work: a named pure function plus parameters.
+
+    Attributes:
+        fn: import path of the trial function, ``"package.module:function"``.
+            The function must be importable by worker processes and return
+            a flat ``{metric: float}`` dict.
+        params: keyword arguments as a sorted tuple of ``(name, value)``
+            pairs (kept hashable so specs can be deduplicated).  Values
+            must be JSON-able scalars — they form the cache key.
+    """
+
+    fn: str
+    params: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def make(cls, fn: str, **params: object) -> "TrialSpec":
+        """Build a spec, validating the function path and parameters."""
+        if ":" not in fn:
+            raise ValidationError(
+                f"trial fn must be 'module:function', got {fn!r}"
+            )
+        for name, value in params.items():
+            if isinstance(value, bool) or value is None:
+                continue
+            if not isinstance(value, (int, float, str)):
+                raise ValidationError(
+                    f"trial param {name}={value!r} is not a JSON-able scalar"
+                )
+            if isinstance(value, float) and value != value:
+                raise ValidationError(f"trial param {name} is NaN")
+        return cls(fn=fn, params=tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, object]:
+        """The parameters as a plain keyword-argument dict."""
+        return dict(self.params)
+
+    def key(self) -> str:
+        """Stable content hash identifying this trial (the cache key).
+
+        The package version is folded into the hash so a warm cache
+        never serves results produced by older simulation code.
+        """
+        from repro import __version__  # deferred: package init imports us
+
+        return content_key(
+            {"fn": self.fn, "params": self.kwargs(), "code": __version__}
+        )
+
+    def resolve(self) -> Callable[..., TrialResult]:
+        """Import and return the trial function."""
+        module_name, _, attr = self.fn.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            fn = getattr(module, attr)
+        except AttributeError:
+            raise ValidationError(
+                f"module {module_name!r} has no trial function {attr!r}"
+            ) from None
+        return fn
+
+    def describe(self) -> str:
+        short = self.fn.rsplit(".", 1)[-1]
+        args = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{short}({args})"
+
+
+def execute_spec(spec: TrialSpec) -> TrialResult:
+    """Run one trial in the current process (also the pool worker body)."""
+    result = spec.resolve()(**spec.kwargs())
+    if not isinstance(result, dict):
+        raise ValidationError(
+            f"trial {spec.describe()} returned {type(result).__name__}, "
+            "expected a dict of floats"
+        )
+    return {name: float(value) for name, value in result.items()}
+
+
+def _execute_keyed(spec: TrialSpec) -> Tuple[TrialSpec, TrialResult]:
+    """Pool worker body: tag the result with its spec for unordered reads."""
+    return spec, execute_spec(spec)
+
+
+def chunked(results: Sequence[TrialResult], size: int):
+    """Slice ordered campaign results into consecutive per-point chunks."""
+    for start in range(0, len(results), size):
+        yield results[start : start + size]
+
+
+class Campaign:
+    """Executes batches of :class:`TrialSpec` with caching and workers.
+
+    Args:
+        workers: worker process count; ``1`` (the default) runs every
+            trial in-process, which is what the plain figure CLI uses.
+        cache: optional :class:`TrialCache`; when set, completed trials
+            are persisted and later batches skip anything already on
+            disk.  Cache writes happen in the parent as results arrive,
+            so an interrupted campaign keeps everything that finished.
+
+    The cumulative counters :attr:`executed` and :attr:`cached` track how
+    much work the campaign actually did versus recovered from disk.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[TrialCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.executed = 0
+        self.cached = 0
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+        """Execute ``specs``; returns their results in submission order.
+
+        Duplicate specs (same content key) execute once.  With a cache,
+        hits are returned without executing; every fresh result is
+        persisted the moment it arrives, so a crash or Ctrl-C part-way
+        through loses only the in-flight trials.
+        """
+        order: List[str] = []
+        pending: List[TrialSpec] = []
+        pending_keys: set = set()
+        results: Dict[str, TrialResult] = {}
+        for spec in specs:
+            key = spec.key()
+            order.append(key)
+            if key in results or key in pending_keys:
+                continue
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[key] = hit
+                self.cached += 1
+            else:
+                pending.append(spec)
+                pending_keys.add(key)
+
+        for spec, result in self._execute(pending):
+            key = spec.key()
+            results[key] = result
+            self.executed += 1
+            if self.cache is not None:
+                self.cache.put(
+                    key,
+                    result,
+                    context={"fn": spec.fn, "params": spec.kwargs()},
+                )
+        return [results[key] for key in order]
+
+    def _execute(self, pending: Sequence[TrialSpec]):
+        """Yield ``(spec, result)`` pairs as they complete.
+
+        Serial execution yields in submission order; parallel execution
+        yields in *completion* order (``imap_unordered``) so every
+        finished trial reaches the cache immediately instead of queueing
+        behind a slow sibling — :meth:`run` reorders by content key.
+        """
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for spec in pending:
+                yield spec, execute_spec(spec)
+            return
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
+            yield from pool.imap_unordered(_execute_keyed, pending, chunksize=1)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    @staticmethod
+    def aggregate(
+        results: Sequence[TrialResult], metric: str
+    ) -> OnlineStats:
+        """Fold one metric of ordered trial results into OnlineStats.
+
+        Folding happens in sequence order, so the mean is exactly the
+        value a serial loop over the same trials would have produced.
+        """
+        stats = OnlineStats()
+        for result in results:
+            stats.add(result[metric])
+        return stats
+
+
+# -- sweep specification ------------------------------------------------------------
+
+
+def parse_sweep(text: str) -> Tuple[str, List[SweepValue]]:
+    """Parse one ``--sweep`` argument: ``"key=v1,v2,..."``.
+
+    Values are coerced to int when they look like ints, float when they
+    look like floats, and kept as strings otherwise (topology names).
+    """
+    key, sep, rest = text.partition("=")
+    key = key.strip()
+    if not sep or not key or not rest.strip():
+        raise ValidationError(
+            f"sweep spec must look like 'key=v1,v2,...', got {text!r}"
+        )
+    values: List[SweepValue] = []
+    for raw in rest.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            values.append(int(raw))
+            continue
+        except ValueError:
+            pass
+        try:
+            values.append(float(raw))
+            continue
+        except ValueError:
+            pass
+        values.append(raw)
+    if not values:
+        raise ValidationError(f"sweep spec {text!r} has no values")
+    return key, values
+
+
+def parse_sweeps(texts: Sequence[str]) -> Dict[str, List[SweepValue]]:
+    """Parse repeated ``--sweep`` arguments into an ordered mapping."""
+    sweeps: Dict[str, List[SweepValue]] = {}
+    for text in texts:
+        key, values = parse_sweep(text)
+        if key in sweeps:
+            raise ValidationError(f"duplicate sweep key {key!r}")
+        sweeps[key] = values
+    return sweeps

@@ -15,15 +15,28 @@ algorithms must deliver to all processes with the same probability ``K``.
   so the all-reached frequency meets ``K`` (the paper's "determined
   interactively"), then data-message counts are averaged over measurement
   trials.
+
+Execution is campaign-based (see :mod:`repro.experiments.campaign`):
+:func:`figure4_table` describes every calibration and measurement trial
+as a seed-complete :class:`~repro.experiments.campaign.TrialSpec` and a
+:class:`~repro.experiments.campaign.Campaign` runs them — serially
+in-process by default, or fanned out over worker processes with on-disk
+result caching, with bit-identical aggregates either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mrt import maximum_reliability_tree
 from repro.core.optimize import optimize
-from repro.experiments.runner import ExperimentScale, current_scale, make_network
+from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.experiments.runner import (
+    ExperimentScale,
+    current_scale,
+    make_network,
+    point_grid,
+)
 from repro.protocols.gossip import calibrate_rounds, run_gossip_trial
 from repro.topology.configuration import Configuration
 from repro.topology.generators import k_regular
@@ -42,6 +55,91 @@ def optimal_messages(graph: Graph, config: Configuration, k_target: float) -> in
     return optimize(tree, k_target, config).total_messages
 
 
+def calibrate_reference(
+    config: Configuration, seed_tag: str, k_target: float, trials: int
+) -> int:
+    """Calibrate the gossip round budget for one configuration.
+
+    Seeds are fully determined by ``seed_tag`` and the trial index, so
+    the result is identical wherever this runs.
+    """
+    return calibrate_rounds(
+        lambda t: make_network(config, "fig4-cal", seed_tag, t),
+        k_target=k_target,
+        trials=trials,
+    )
+
+
+def measure_reference_once(
+    config: Configuration,
+    seed_tag: str,
+    trial: int,
+    rounds: int,
+    k_target: float,
+    count_acks: bool = False,
+) -> float:
+    """One seeded gossip measurement trial: the message count."""
+    outcome = run_gossip_trial(
+        lambda: make_network(config, "fig4-meas", seed_tag, trial),
+        rounds=rounds,
+        k_target=k_target,
+    )
+    messages = outcome["data_messages"]
+    if count_acks:
+        messages += outcome["ack_messages"]
+    return messages
+
+
+def _uniform_config(
+    n: int, connectivity: int, crash: float, loss: float
+) -> Tuple[Graph, Configuration]:
+    graph = k_regular(n, connectivity)
+    return graph, Configuration.uniform(graph, crash=crash, loss=loss)
+
+
+# -- campaign trial functions (spawn-safe module-level entry points) ----------------
+
+
+def gossip_calibration_task(
+    *,
+    n: int,
+    connectivity: int,
+    crash: float,
+    loss: float,
+    k_target: float,
+    trials: int,
+    seed_tag: str,
+) -> Dict[str, float]:
+    """Campaign task: calibrate rounds for a uniform configuration."""
+    _, config = _uniform_config(n, connectivity, float(crash), float(loss))
+    rounds = calibrate_reference(config, seed_tag, k_target, trials)
+    return {"rounds": float(rounds)}
+
+
+def gossip_measurement_task(
+    *,
+    n: int,
+    connectivity: int,
+    crash: float,
+    loss: float,
+    k_target: float,
+    rounds: int,
+    trial: int,
+    seed_tag: str,
+    count_acks: bool = False,
+) -> Dict[str, float]:
+    """Campaign task: one gossip measurement trial on a uniform config."""
+    _, config = _uniform_config(n, connectivity, float(crash), float(loss))
+    messages = measure_reference_once(
+        config, seed_tag, trial, rounds, k_target, count_acks
+    )
+    return {"messages": messages}
+
+
+CALIBRATION_FN = "repro.experiments.figure4:gossip_calibration_task"
+MEASUREMENT_FN = "repro.experiments.figure4:gossip_measurement_task"
+
+
 def reference_messages(
     graph: Graph,
     config: Configuration,
@@ -52,25 +150,23 @@ def reference_messages(
 ) -> Tuple[float, int]:
     """Mean gossip data messages at the calibrated round budget.
 
+    In-process serial path (used by :func:`figure4_point` and the
+    heterogeneous extension); the campaign tasks above compute the exact
+    same per-trial values from the same seeds.
+
     Returns:
         ``(mean_messages, rounds)``.
     """
-    rounds = calibrate_rounds(
-        lambda t: make_network(config, "fig4-cal", seed_tag, t),
-        k_target=k_target,
-        trials=scale.calibration_trials,
+    rounds = calibrate_reference(
+        config, seed_tag, k_target, scale.calibration_trials
     )
     stats = OnlineStats()
     for t in range(scale.trials):
-        outcome = run_gossip_trial(
-            lambda t=t: make_network(config, "fig4-meas", seed_tag, t),
-            rounds=rounds,
-            k_target=k_target,
+        stats.add(
+            measure_reference_once(
+                config, seed_tag, t, rounds, k_target, count_acks
+            )
         )
-        messages = outcome["data_messages"]
-        if count_acks:
-            messages += outcome["ack_messages"]
-        stats.add(messages)
     return stats.mean, rounds
 
 
@@ -82,10 +178,9 @@ def figure4_point(
     count_acks: bool = False,
 ) -> Dict[str, float]:
     """One (connectivity, P, L) point: the ratio and its components."""
-    graph = k_regular(scale.n, connectivity)
-    config = Configuration.uniform(graph, crash=crash, loss=loss)
+    graph, config = _uniform_config(scale.n, connectivity, crash, loss)
     optimal = optimal_messages(graph, config, scale.k_target)
-    seed_tag = f"k{connectivity}-P{crash}-L{loss}-n{scale.n}"
+    seed_tag = _seed_tag(connectivity, crash, loss, scale.n)
     reference, rounds = reference_messages(
         graph, config, scale.k_target, scale, seed_tag, count_acks
     )
@@ -98,18 +193,30 @@ def figure4_point(
     }
 
 
+def _seed_tag(connectivity: int, crash: float, loss: float, n: int) -> str:
+    return f"k{connectivity}-P{crash}-L{loss}-n{n}"
+
+
 def figure4_table(
     variant: str = "crash",
     scale: Optional[ExperimentScale] = None,
     values: Optional[Sequence[float]] = None,
     count_acks: bool = False,
+    campaign: Optional[Campaign] = None,
 ) -> SeriesTable:
     """Regenerate Figure 4(a) (``variant="crash"``) or 4(b) (``"loss"``).
 
     Each curve fixes one probability value; the x-axis sweeps network
     connectivity.  y = reference/optimal message ratio.
+
+    Args:
+        campaign: execution engine; defaults to a serial, cache-less
+            :class:`Campaign`.  Pass one with ``workers > 1`` and/or a
+            :class:`~repro.util.cache.TrialCache` to parallelise — the
+            table is identical in all cases.
     """
     scale = scale or current_scale()
+    campaign = campaign or Campaign()
     if variant == "crash":
         values = tuple(values or PAPER_CRASH_VALUES)
         label = "P"
@@ -121,15 +228,64 @@ def figure4_table(
     else:
         raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
 
+    points = point_grid(scale, values)
+
+    def probs(value: float) -> Tuple[float, float]:
+        """The (crash, loss) pair a swept value denotes in this variant."""
+        return (float(value), 0.0) if variant == "crash" else (0.0, float(value))
+
+    # Phase 1: one calibration per (value, connectivity) point.
+    cal_specs: List[TrialSpec] = []
+    for value, connectivity in points:
+        crash, loss = probs(value)
+        cal_specs.append(
+            TrialSpec.make(
+                CALIBRATION_FN,
+                n=scale.n,
+                connectivity=connectivity,
+                crash=crash,
+                loss=loss,
+                k_target=scale.k_target,
+                trials=scale.calibration_trials,
+                seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
+            )
+        )
+    calibrations = campaign.run(cal_specs)
+
+    # Phase 2: the measurement trials, fanned out across all points.
+    meas_specs: List[TrialSpec] = []
+    for (value, connectivity), calibration in zip(points, calibrations):
+        crash, loss = probs(value)
+        for trial in range(scale.trials):
+            meas_specs.append(
+                TrialSpec.make(
+                    MEASUREMENT_FN,
+                    n=scale.n,
+                    connectivity=connectivity,
+                    crash=crash,
+                    loss=loss,
+                    k_target=scale.k_target,
+                    rounds=int(calibration["rounds"]),
+                    trial=trial,
+                    seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
+                    count_acks=count_acks,
+                )
+            )
+    measurements = campaign.run(meas_specs)
+
+    # Aggregate per point, folding trials in serial order.
     table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    by_value: Dict[float, Series] = {
+        value: Series(name=f"{label}={value:g}") for value in values
+    }
+    for (value, connectivity), chunk in zip(
+        points, chunked(measurements, scale.trials)
+    ):
+        crash, loss = probs(value)
+        graph, config = _uniform_config(scale.n, connectivity, crash, loss)
+        optimal = optimal_messages(graph, config, scale.k_target)
+        reference = Campaign.aggregate(chunk, "messages").mean
+        by_value[value].add(connectivity, reference / optimal)
     for value in values:
-        series = Series(name=f"{label}={value:g}")
-        for connectivity in scale.connectivities:
-            if connectivity >= scale.n:
-                continue
-            crash = value if variant == "crash" else 0.0
-            loss = value if variant == "loss" else 0.0
-            point = figure4_point(connectivity, crash, loss, scale, count_acks)
-            series.add(connectivity, point["ratio"])
-        table.add_series(series)
+        table.add_series(by_value[value])
     return table

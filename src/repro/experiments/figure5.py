@@ -9,25 +9,32 @@ heartbeat per incident link per ``delta``, so messages/link accumulate at
 
 We run the full adaptive stack (vectorised views) until the
 :func:`repro.analysis.convergence.views_converged` predicate holds and
-report ``heartbeat messages sent / link count``.
+report ``heartbeat messages sent / link count``.  Trials are described as
+campaign specs (seed-complete, spawn-safe), so ``repro campaign`` can
+fan them out across worker processes with results identical to the
+serial run.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.convergence import ConvergenceCriterion, views_converged
 from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
-from repro.core.knowledge import KnowledgeParameters
 from repro.errors import ConvergenceTimeoutError
-from repro.experiments.runner import ExperimentScale, current_scale, make_network
+from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.experiments.runner import (
+    ExperimentScale,
+    current_scale,
+    make_network,
+    point_grid,
+)
 from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
 from repro.sim.trace import MessageCategory
 from repro.topology.configuration import Configuration
 from repro.topology.generators import k_regular
 from repro.topology.graph import Graph
-from repro.util.stats import OnlineStats
 from repro.util.tables import Series, SeriesTable
 
 #: Probability values plotted in the paper for each variant.
@@ -82,27 +89,62 @@ def convergence_messages_per_link(
     return network.stats.sent(MessageCategory.HEARTBEAT) / graph.link_count
 
 
-def figure5_point(
+def convergence_trial_task(
+    *,
+    n: int,
+    connectivity: int,
+    crash: float,
+    loss: float,
+    deadline: float,
+    trial: int,
+) -> Dict[str, float]:
+    """Campaign task: one seeded convergence trial on a k-regular graph.
+
+    The seed tag reproduces the serial runner's
+    ``(connectivity, crash, loss, trial)`` tuple exactly, so campaign
+    execution is bit-identical to the serial loop.
+    """
+    connectivity, trial = int(connectivity), int(trial)
+    crash, loss = float(crash), float(loss)
+    graph = k_regular(int(n), connectivity)
+    config = Configuration.uniform(graph, crash=crash, loss=loss)
+    effort = convergence_messages_per_link(
+        graph,
+        config,
+        (connectivity, crash, loss, trial),
+        deadline=float(deadline),
+    )
+    return {"messages_per_link": effort}
+
+
+CONVERGENCE_FN = "repro.experiments.figure5:convergence_trial_task"
+
+
+def _point_specs(
     connectivity: int,
     crash: float,
     loss: float,
     scale: ExperimentScale,
-    trials: Optional[int] = None,
-) -> Dict[str, float]:
-    """One (connectivity, P, L) point of Figure 5 (mean over trials)."""
-    graph = k_regular(scale.n, connectivity)
-    config = Configuration.uniform(graph, crash=crash, loss=loss)
-    stats = OnlineStats()
-    trials = trials if trials is not None else max(3, scale.trials // 5)
-    for t in range(trials):
-        stats.add(
-            convergence_messages_per_link(
-                graph,
-                config,
-                (connectivity, crash, loss, t),
-                deadline=scale.convergence_deadline,
-            )
+    trials: int,
+) -> List[TrialSpec]:
+    return [
+        TrialSpec.make(
+            CONVERGENCE_FN,
+            n=scale.n,
+            connectivity=int(connectivity),
+            crash=float(crash),
+            loss=float(loss),
+            deadline=float(scale.convergence_deadline),
+            trial=trial,
         )
+        for trial in range(trials)
+    ]
+
+
+def _point_row(
+    connectivity: int, results: Sequence[Dict[str, float]]
+) -> Dict[str, float]:
+    stats = Campaign.aggregate(results, "messages_per_link")
     return {
         "connectivity": float(connectivity),
         "messages_per_link": stats.mean,
@@ -111,18 +153,36 @@ def figure5_point(
     }
 
 
+def figure5_point(
+    connectivity: int,
+    crash: float,
+    loss: float,
+    scale: ExperimentScale,
+    trials: Optional[int] = None,
+    campaign: Optional[Campaign] = None,
+) -> Dict[str, float]:
+    """One (connectivity, P, L) point of Figure 5 (mean over trials)."""
+    campaign = campaign or Campaign()
+    trials = scale.convergence_trials(trials)
+    specs = _point_specs(connectivity, crash, loss, scale, trials)
+    return _point_row(connectivity, campaign.run(specs))
+
+
 def figure5_table(
     variant: str = "crash",
     scale: Optional[ExperimentScale] = None,
     values: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
+    campaign: Optional[Campaign] = None,
 ) -> SeriesTable:
     """Regenerate Figure 5(a) (``variant="crash"``) or 5(b) (``"loss"``).
 
     x = connectivity, y = heartbeat messages per link until all processes
-    learned the reliability probabilities.
+    learned the reliability probabilities.  All points' trials run in one
+    campaign batch, so worker processes stay busy across the whole grid.
     """
     scale = scale or current_scale()
+    campaign = campaign or Campaign()
     if variant == "crash":
         values = tuple(values or PAPER_CRASH_VALUES)
         label = "P"
@@ -134,15 +194,22 @@ def figure5_table(
     else:
         raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
 
+    trials = scale.convergence_trials(trials)
+    points = point_grid(scale, values)
+    specs: List[TrialSpec] = []
+    for value, connectivity in points:
+        crash = float(value) if variant == "crash" else 0.0
+        loss = float(value) if variant == "loss" else 0.0
+        specs.extend(_point_specs(connectivity, crash, loss, scale, trials))
+    results = campaign.run(specs)
+
     table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    by_value: Dict[float, Series] = {
+        value: Series(name=f"{label}={value:g}") for value in values
+    }
+    for (value, connectivity), chunk in zip(points, chunked(results, trials)):
+        row = _point_row(connectivity, chunk)
+        by_value[value].add(connectivity, row["messages_per_link"])
     for value in values:
-        series = Series(name=f"{label}={value:g}")
-        for connectivity in scale.connectivities:
-            if connectivity >= scale.n:
-                continue
-            crash = value if variant == "crash" else 0.0
-            loss = value if variant == "loss" else 0.0
-            point = figure5_point(connectivity, crash, loss, scale, trials)
-            series.add(connectivity, point["messages_per_link"])
-        table.add_series(series)
+        table.add_series(by_value[value])
     return table

@@ -5,25 +5,88 @@ a ring (worst case: information traverses half the system on average, so
 convergence effort grows linearly with n) and random trees (convergence
 effort stays nearly constant).  The metric is the same messages/link
 counter as Figure 5, with a mildly unreliable uniform configuration.
+
+Like Figures 4/5, every (topology, n, trial) cell is a seed-complete
+campaign spec, so ``repro campaign figure6`` parallelises and caches the
+sweep; ``--sweep topology=... --sweep size=... --sweep loss=...`` widens
+or narrows the grid (multiple loss values add one curve per topology x
+loss combination).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.convergence import ConvergenceCriterion
+from repro.experiments.campaign import Campaign, TrialSpec, chunked
 from repro.experiments.figure5 import convergence_messages_per_link
 from repro.experiments.runner import ExperimentScale, current_scale
 from repro.topology.configuration import Configuration
 from repro.topology.generators import random_tree, ring
 from repro.util.rng import RandomSource
-from repro.util.stats import OnlineStats
 from repro.util.tables import Series, SeriesTable
 
 #: Loss probability used for the scalability runs (mildly lossy links —
 #: the paper does not state the exact value; 0.01 keeps suspicion traffic
 #: representative without dominating convergence time).
 DEFAULT_LOSS = 0.01
+
+#: Topologies contrasted by the paper's Figure 6.
+TOPOLOGIES = ("ring", "tree")
+
+
+def scalability_trial_task(
+    *,
+    topology: str,
+    n: int,
+    loss: float,
+    deadline: float,
+    trial: int,
+) -> Dict[str, float]:
+    """Campaign task: one seeded convergence trial at system size ``n``.
+
+    Ring graphs are deterministic; random trees draw their shape from the
+    dedicated ``("fig6-tree", n, trial)`` stream, exactly as the serial
+    runner always did.
+    """
+    n, trial = int(n), int(trial)
+    loss = float(loss)
+    if topology == "ring":
+        graph = ring(n)
+    elif topology == "tree":
+        graph = random_tree(n, RandomSource("fig6-tree", n, trial))
+    else:
+        raise ValueError(f"topology must be 'ring' or 'tree', got {topology!r}")
+    config = Configuration.uniform(graph, crash=0.0, loss=loss)
+    effort = convergence_messages_per_link(
+        graph,
+        config,
+        ("fig6", topology, n, trial),
+        deadline=float(deadline),
+    )
+    return {"messages_per_link": effort}
+
+
+SCALABILITY_FN = "repro.experiments.figure6:scalability_trial_task"
+
+
+def _point_specs(
+    topology: str,
+    n: int,
+    scale: ExperimentScale,
+    trials: int,
+    loss: float,
+) -> List[TrialSpec]:
+    return [
+        TrialSpec.make(
+            SCALABILITY_FN,
+            topology=topology,
+            n=int(n),
+            loss=float(loss),
+            deadline=float(scale.convergence_deadline),
+            trial=trial,
+        )
+        for trial in range(trials)
+    ]
 
 
 def figure6_point(
@@ -32,26 +95,15 @@ def figure6_point(
     scale: ExperimentScale,
     trials: Optional[int] = None,
     loss: float = DEFAULT_LOSS,
+    campaign: Optional[Campaign] = None,
 ) -> Dict[str, float]:
     """Convergence effort for one (topology, n) point."""
-    trials = trials if trials is not None else max(3, scale.trials // 5)
-    stats = OnlineStats()
-    for t in range(trials):
-        if topology == "ring":
-            graph = ring(n)
-        elif topology == "tree":
-            graph = random_tree(n, RandomSource("fig6-tree", n, t))
-        else:
-            raise ValueError(f"topology must be 'ring' or 'tree', got {topology!r}")
-        config = Configuration.uniform(graph, crash=0.0, loss=loss)
-        stats.add(
-            convergence_messages_per_link(
-                graph,
-                config,
-                ("fig6", topology, n, t),
-                deadline=scale.convergence_deadline,
-            )
-        )
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"topology must be 'ring' or 'tree', got {topology!r}")
+    campaign = campaign or Campaign()
+    trials = scale.convergence_trials(trials)
+    results = campaign.run(_point_specs(topology, n, scale, trials, loss))
+    stats = Campaign.aggregate(results, "messages_per_link")
     return {
         "n": float(n),
         "messages_per_link": stats.mean,
@@ -65,18 +117,52 @@ def figure6_table(
     sizes: Optional[Sequence[int]] = None,
     trials: Optional[int] = None,
     loss: float = DEFAULT_LOSS,
+    topologies: Optional[Sequence[str]] = None,
+    losses: Optional[Sequence[float]] = None,
+    campaign: Optional[Campaign] = None,
 ) -> SeriesTable:
-    """Regenerate Figure 6: messages/link to converge vs system size."""
+    """Regenerate Figure 6: messages/link to converge vs system size.
+
+    Args:
+        topologies: subset of ``("ring", "tree")`` to sweep.
+        losses: loss probabilities to sweep; a single value keeps the
+            paper's series naming (one curve per topology), several add
+            ``L=`` suffixes and one curve per combination.
+    """
     scale = scale or current_scale()
+    campaign = campaign or Campaign()
     sizes = tuple(sizes or scale.figure6_sizes)
+    topologies = tuple(topologies or TOPOLOGIES)
+    losses = tuple(losses or (loss,))
+    for topology in topologies:
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be 'ring' or 'tree', got {topology!r}"
+            )
+    trials = scale.convergence_trials(trials)
+
+    cells = [
+        (topology, loss_value, n)
+        for topology in topologies
+        for loss_value in losses
+        for n in sizes
+    ]
+    specs: List[TrialSpec] = []
+    for topology, loss_value, n in cells:
+        specs.extend(_point_specs(topology, n, scale, trials, loss_value))
+    results = campaign.run(specs)
+
     table = SeriesTable(
         title="Figure 6 - adaptive algorithm scalability",
         x_label="number of processes",
     )
-    for topology in ("ring", "tree"):
-        series = Series(name=topology)
-        for n in sizes:
-            point = figure6_point(topology, n, scale, trials, loss)
-            series.add(n, point["messages_per_link"])
-        table.add_series(series)
+    series_map: Dict[object, Series] = {}
+    for (topology, loss_value, n), chunk in zip(cells, chunked(results, trials)):
+        key = (topology, loss_value)
+        if key not in series_map:
+            name = topology if len(losses) == 1 else f"{topology} L={loss_value:g}"
+            series_map[key] = Series(name=name)
+            table.add_series(series_map[key])
+        stats = Campaign.aggregate(chunk, "messages_per_link")
+        series_map[key].add(n, stats.mean)
     return table

@@ -13,18 +13,184 @@ reference/optimal message ratio on
 so any ratio difference is attributable purely to the spread the
 adaptive/optimal side can exploit (picking the reliable links) and the
 oblivious baseline cannot.
+
+Both configurations rebuild deterministically from scalars (the
+heterogeneous one from its own ``("hetero", connectivity, seed)``
+stream), so the calibration and measurement trials are campaign specs
+like the Figure 4 ones and ``repro campaign heterogeneous`` parallelises
+the comparison.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.figure4 import optimal_messages, reference_messages
+from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.experiments.figure4 import (
+    calibrate_reference,
+    measure_reference_once,
+    optimal_messages,
+)
 from repro.experiments.runner import ExperimentScale, current_scale
 from repro.topology.configuration import Configuration
 from repro.topology.generators import k_regular
+from repro.topology.graph import Graph
 from repro.util.rng import RandomSource
 from repro.util.tables import Series, SeriesTable
+
+MODES = ("uniform", "hetero")
+
+
+def _build_config(
+    mode: str,
+    n: int,
+    connectivity: int,
+    mean_loss: float,
+    spread: float,
+    seed: int,
+) -> Tuple[Graph, Configuration]:
+    """Rebuild the compared configurations from their defining scalars."""
+    graph = k_regular(n, connectivity)
+    if mode == "uniform":
+        return graph, Configuration.uniform(graph, loss=mean_loss)
+    if mode == "hetero":
+        lo = max(0.0, mean_loss * (1.0 - spread))
+        hi = min(1.0, mean_loss * (1.0 + spread))
+        return graph, Configuration.random_uniform(
+            graph,
+            RandomSource("hetero", connectivity, seed),
+            crash_range=(0.0, 0.0),
+            loss_range=(lo, hi),
+        )
+    raise ValueError(f"mode must be 'uniform' or 'hetero', got {mode!r}")
+
+
+def _seed_tag(mode: str, connectivity: int, mean_loss: float, seed: int) -> str:
+    return f"het-{mode}-{connectivity}-{mean_loss}-{seed}"
+
+
+def hetero_calibration_task(
+    *,
+    mode: str,
+    n: int,
+    connectivity: int,
+    mean_loss: float,
+    spread: float,
+    seed: int,
+    k_target: float,
+    trials: int,
+) -> Dict[str, float]:
+    """Campaign task: calibrate gossip rounds for one compared config."""
+    connectivity, seed = int(connectivity), int(seed)
+    mean_loss = float(mean_loss)
+    _, config = _build_config(
+        mode, int(n), connectivity, mean_loss, float(spread), seed
+    )
+    rounds = calibrate_reference(
+        config, _seed_tag(mode, connectivity, mean_loss, seed), k_target, trials
+    )
+    return {"rounds": float(rounds)}
+
+
+def hetero_measurement_task(
+    *,
+    mode: str,
+    n: int,
+    connectivity: int,
+    mean_loss: float,
+    spread: float,
+    seed: int,
+    k_target: float,
+    rounds: int,
+    trial: int,
+) -> Dict[str, float]:
+    """Campaign task: one gossip measurement trial on a compared config."""
+    connectivity, seed = int(connectivity), int(seed)
+    mean_loss = float(mean_loss)
+    _, config = _build_config(
+        mode, int(n), connectivity, mean_loss, float(spread), seed
+    )
+    messages = measure_reference_once(
+        config,
+        _seed_tag(mode, connectivity, mean_loss, seed),
+        int(trial),
+        int(rounds),
+        k_target,
+    )
+    return {"messages": messages}
+
+
+CALIBRATION_FN = "repro.experiments.heterogeneous:hetero_calibration_task"
+MEASUREMENT_FN = "repro.experiments.heterogeneous:hetero_measurement_task"
+
+
+def _cal_spec(
+    mode: str,
+    connectivity: int,
+    mean_loss: float,
+    scale: ExperimentScale,
+    spread: float,
+    seed: int,
+) -> TrialSpec:
+    return TrialSpec.make(
+        CALIBRATION_FN,
+        mode=mode,
+        n=scale.n,
+        connectivity=int(connectivity),
+        mean_loss=float(mean_loss),
+        spread=float(spread),
+        seed=int(seed),
+        k_target=scale.k_target,
+        trials=scale.calibration_trials,
+    )
+
+
+def _meas_specs(
+    mode: str,
+    connectivity: int,
+    mean_loss: float,
+    scale: ExperimentScale,
+    spread: float,
+    seed: int,
+    rounds: int,
+) -> List[TrialSpec]:
+    return [
+        TrialSpec.make(
+            MEASUREMENT_FN,
+            mode=mode,
+            n=scale.n,
+            connectivity=int(connectivity),
+            mean_loss=float(mean_loss),
+            spread=float(spread),
+            seed=int(seed),
+            k_target=scale.k_target,
+            rounds=int(rounds),
+            trial=trial,
+        )
+        for trial in range(scale.trials)
+    ]
+
+
+def _aggregate_point(
+    connectivity: int,
+    mean_loss: float,
+    scale: ExperimentScale,
+    spread: float,
+    seed: int,
+    measurements: Dict[str, Sequence[Dict[str, float]]],
+) -> Dict[str, float]:
+    out: Dict[str, float] = {"connectivity": float(connectivity)}
+    for mode in MODES:
+        graph, config = _build_config(
+            mode, scale.n, connectivity, mean_loss, spread, seed
+        )
+        optimal = optimal_messages(graph, config, scale.k_target)
+        reference = Campaign.aggregate(measurements[mode], "messages").mean
+        out[f"{mode}_optimal"] = float(optimal)
+        out[f"{mode}_reference"] = reference
+        out[f"{mode}_ratio"] = reference / optimal
+    out["gain_delta"] = out["hetero_ratio"] - out["uniform_ratio"]
+    return out
 
 
 def heterogeneity_point(
@@ -33,6 +199,7 @@ def heterogeneity_point(
     scale: ExperimentScale,
     spread: float = 1.0,
     seed: int = 0,
+    campaign: Optional[Campaign] = None,
 ) -> Dict[str, float]:
     """Ratios for a uniform vs an equal-mean heterogeneous configuration.
 
@@ -40,44 +207,59 @@ def heterogeneity_point(
         spread: half-width of the loss distribution relative to the mean
             (1.0 means per-link losses uniform over [0, 2*mean]).
     """
-    graph = k_regular(scale.n, connectivity)
-    uniform = Configuration.uniform(graph, loss=mean_loss)
-    lo = max(0.0, mean_loss * (1.0 - spread))
-    hi = min(1.0, mean_loss * (1.0 + spread))
-    hetero = Configuration.random_uniform(
-        graph,
-        RandomSource("hetero", connectivity, seed),
-        crash_range=(0.0, 0.0),
-        loss_range=(lo, hi),
+    campaign = campaign or Campaign()
+    cal = campaign.run(
+        [
+            _cal_spec(mode, connectivity, mean_loss, scale, spread, seed)
+            for mode in MODES
+        ]
     )
-
-    out: Dict[str, float] = {"connectivity": float(connectivity)}
-    for label, config in (("uniform", uniform), ("hetero", hetero)):
-        optimal = optimal_messages(graph, config, scale.k_target)
-        reference, rounds = reference_messages(
-            graph,
-            config,
-            scale.k_target,
-            scale,
-            seed_tag=f"het-{label}-{connectivity}-{mean_loss}-{seed}",
+    rounds = {mode: int(c["rounds"]) for mode, c in zip(MODES, cal)}
+    measurements: Dict[str, Sequence[Dict[str, float]]] = {}
+    for mode in MODES:
+        measurements[mode] = campaign.run(
+            _meas_specs(
+                mode, connectivity, mean_loss, scale, spread, seed, rounds[mode]
+            )
         )
-        out[f"{label}_optimal"] = float(optimal)
-        out[f"{label}_reference"] = reference
-        out[f"{label}_ratio"] = reference / optimal
-    out["gain_delta"] = out["hetero_ratio"] - out["uniform_ratio"]
-    return out
+    return _aggregate_point(
+        connectivity, mean_loss, scale, spread, seed, measurements
+    )
 
 
 def heterogeneity_table(
     scale: Optional[ExperimentScale] = None,
     mean_loss: float = 0.05,
     connectivities: Optional[Sequence[int]] = None,
+    spread: float = 1.0,
+    seed: int = 0,
+    campaign: Optional[Campaign] = None,
 ) -> SeriesTable:
     """Reference/optimal ratio: uniform vs heterogeneous environments."""
     scale = scale or current_scale()
+    campaign = campaign or Campaign()
     connectivities = tuple(
         connectivities or [k for k in scale.connectivities if k <= 12]
     )
+    points = [k for k in connectivities if k < scale.n]
+
+    cal_specs = [
+        _cal_spec(mode, k, mean_loss, scale, spread, seed)
+        for k in points
+        for mode in MODES
+    ]
+    calibrations = campaign.run(cal_specs)
+    meas_specs: List[TrialSpec] = []
+    for (k, mode), calibration in zip(
+        [(k, mode) for k in points for mode in MODES], calibrations
+    ):
+        meas_specs.extend(
+            _meas_specs(
+                mode, k, mean_loss, scale, spread, seed, int(calibration["rounds"])
+            )
+        )
+    measurements = campaign.run(meas_specs)
+
     table = SeriesTable(
         title=(
             "Extension - heterogeneous environments "
@@ -87,12 +269,14 @@ def heterogeneity_table(
     )
     uniform = Series("ratio (uniform L)")
     hetero = Series("ratio (heterogeneous L)")
-    for connectivity in connectivities:
-        if connectivity >= scale.n:
-            continue
-        point = heterogeneity_point(connectivity, mean_loss, scale)
-        uniform.add(connectivity, point["uniform_ratio"])
-        hetero.add(connectivity, point["hetero_ratio"])
+    mode_chunks = chunked(measurements, scale.trials)
+    for k in points:
+        chunks: Dict[str, Sequence[Dict[str, float]]] = {
+            mode: next(mode_chunks) for mode in MODES
+        }
+        point = _aggregate_point(k, mean_loss, scale, spread, seed, chunks)
+        uniform.add(k, point["uniform_ratio"])
+        hetero.add(k, point["hetero_ratio"])
     table.add_series(uniform)
     table.add_series(hetero)
     return table

@@ -13,13 +13,19 @@ from repro.util.tables import SeriesTable
 
 @dataclass
 class ExperimentRecord:
-    """One regenerated experiment, ready to be written to a report."""
+    """One regenerated experiment, ready to be written to a report.
+
+    ``metadata`` carries provenance that is not part of the figure data
+    itself — campaign runs record worker count, trials executed and cache
+    hits there so a report shows how much work a re-run actually cost.
+    """
 
     experiment_id: str
     description: str
     scale: str
     table: SeriesTable
     notes: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         header = (
@@ -29,6 +35,9 @@ class ExperimentRecord:
         parts = [header, self.table.render()]
         if self.notes:
             parts.append(f"notes: {self.notes}")
+        if self.metadata:
+            detail = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
+            parts.append(f"run: {detail}")
         return "\n".join(parts)
 
     def to_json(self) -> Dict:
@@ -37,6 +46,7 @@ class ExperimentRecord:
             "description": self.description,
             "scale": self.scale,
             "notes": self.notes,
+            "metadata": dict(self.metadata),
             "x_label": self.table.x_label,
             "series": [
                 {"name": s.name, "xs": s.xs, "ys": s.ys}

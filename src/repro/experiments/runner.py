@@ -1,4 +1,11 @@
-"""Shared experiment plumbing: scales, seeded trials, network factories."""
+"""Shared experiment plumbing: scales, seeded trials, network factories.
+
+The figure modules build their trial grids from an :class:`ExperimentScale`
+and execute them through :class:`repro.experiments.campaign.Campaign`
+(serially by default; in parallel with caching under ``repro campaign``).
+This module owns the sizing presets and the seed-derivation helpers both
+paths share.
+"""
 
 from __future__ import annotations
 
@@ -42,6 +49,12 @@ class ExperimentScale:
     calibration_trials: int
     convergence_deadline: float
     figure6_sizes: Tuple[int, ...]
+
+    def convergence_trials(self, override: Optional[int] = None) -> int:
+        """Trials per convergence point (Figures 5/6 run fewer, >= 3)."""
+        if override is not None:
+            return override
+        return max(3, self.trials // 5)
 
 
 QUICK = ExperimentScale(
@@ -98,6 +111,22 @@ def current_scale(override: Optional[str] = None) -> ExperimentScale:
 def scaled(scale: ExperimentScale, **overrides) -> ExperimentScale:
     """Derive a scale with some fields replaced."""
     return replace(scale, **overrides)
+
+
+def point_grid(
+    scale: ExperimentScale, values: Sequence[float]
+) -> List[Tuple[float, int]]:
+    """The (probability value, connectivity) grid of Figures 4/5.
+
+    Connectivities that cannot exist at ``scale.n`` are dropped, exactly
+    as the serial builders always did.
+    """
+    return [
+        (value, connectivity)
+        for value in values
+        for connectivity in scale.connectivities
+        if connectivity < scale.n
+    ]
 
 
 def make_network(

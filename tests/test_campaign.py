@@ -1,0 +1,234 @@
+"""Tests for the campaign subsystem (parallel execution, cache, resume)."""
+
+import os
+
+import pytest
+
+from repro.errors import ConvergenceTimeoutError, ValidationError
+from repro.experiments.campaign import (
+    Campaign,
+    TrialSpec,
+    execute_spec,
+    parse_sweep,
+    parse_sweeps,
+)
+from repro.experiments.figure4 import figure4_table
+from repro.experiments.figure5 import CONVERGENCE_FN
+from repro.experiments.runner import QUICK, scaled
+from repro.util.cache import TrialCache, content_key
+
+TINY = scaled(
+    QUICK,
+    n=10,
+    connectivities=(2, 4),
+    trials=3,
+    calibration_trials=10,
+    convergence_deadline=1200.0,
+    figure6_sizes=(10, 14),
+    k_target=0.9,
+)
+
+
+def _convergence_spec(trial: int, deadline: float = 1200.0) -> TrialSpec:
+    return TrialSpec.make(
+        CONVERGENCE_FN,
+        n=8,
+        connectivity=2,
+        crash=0.0,
+        loss=0.0,
+        deadline=deadline,
+        trial=trial,
+    )
+
+
+class TestTrialSpec:
+    def test_key_is_stable_and_order_insensitive(self):
+        a = TrialSpec.make("m.mod:fn", x=1, y=2.5)
+        b = TrialSpec.make("m.mod:fn", y=2.5, x=1)
+        assert a == b
+        assert a.key() == b.key()
+        assert len(a.key()) == 64
+
+    def test_key_differs_by_params_and_fn(self):
+        a = TrialSpec.make("m.mod:fn", x=1)
+        assert a.key() != TrialSpec.make("m.mod:fn", x=2).key()
+        assert a.key() != TrialSpec.make("m.mod:gn", x=1).key()
+
+    def test_rejects_bad_fn_and_params(self):
+        with pytest.raises(ValidationError):
+            TrialSpec.make("no_colon_here", x=1)
+        with pytest.raises(ValidationError):
+            TrialSpec.make("m:fn", x=[1, 2])
+        with pytest.raises(ValidationError):
+            TrialSpec.make("m:fn", x=float("nan"))
+
+    def test_resolve_and_execute(self):
+        spec = _convergence_spec(0)
+        result = execute_spec(spec)
+        assert result["messages_per_link"] > 0
+
+    def test_resolve_unknown_function(self):
+        spec = TrialSpec.make("repro.experiments.figure5:nope", x=1)
+        with pytest.raises(ValidationError):
+            spec.resolve()
+
+
+class TestTrialCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        key = content_key({"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"m": 3.0})
+        assert cache.get(key) == {"m": 3.0}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        key = content_key({"a": 1})
+        with open(os.path.join(str(tmp_path), f"{key}.json"), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        for i in range(3):
+            cache.put(content_key({"i": i}), {"v": float(i)})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_content_key_rejects_nan(self):
+        with pytest.raises(ValueError):
+            content_key({"x": float("nan")})
+
+
+class TestCampaignExecution:
+    def test_serial_results_in_order(self):
+        campaign = Campaign()
+        specs = [_convergence_spec(t) for t in range(3)]
+        results = campaign.run(specs)
+        assert len(results) == 3
+        assert campaign.executed == 3
+        # determinism: same specs, same values
+        again = Campaign().run(specs)
+        assert results == again
+
+    def test_duplicates_execute_once(self):
+        campaign = Campaign()
+        spec = _convergence_spec(0)
+        results = campaign.run([spec, spec, spec])
+        assert campaign.executed == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_parallel_matches_serial(self):
+        specs = [_convergence_spec(t) for t in range(4)]
+        serial = Campaign(workers=1).run(specs)
+        parallel = Campaign(workers=2).run(specs)
+        assert serial == parallel
+
+    def test_workers_validated(self):
+        with pytest.raises(ValidationError):
+            Campaign(workers=0)
+
+    def test_aggregate_orders_fold(self):
+        stats = Campaign.aggregate(
+            [{"v": 1.0}, {"v": 2.0}, {"v": 3.0}], "v"
+        )
+        assert stats.count == 3
+        assert stats.mean == 2.0
+
+
+class TestCampaignCache:
+    def test_cache_hit_skips_execution(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        specs = [_convergence_spec(t) for t in range(2)]
+        first = Campaign(cache=cache)
+        results1 = first.run(specs)
+        assert first.executed == 2
+        assert first.cached == 0
+
+        second = Campaign(cache=cache)
+        results2 = second.run(specs)
+        assert second.executed == 0
+        assert second.cached == 2
+        assert results1 == results2
+
+    def test_interrupted_campaign_resumes(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        good = [_convergence_spec(t) for t in range(2)]
+        # a trial that fails mid-campaign: impossible deadline -> timeout
+        bad = _convergence_spec(2, deadline=4.0)
+
+        interrupted = Campaign(cache=cache)
+        with pytest.raises(ConvergenceTimeoutError):
+            interrupted.run(good + [bad] + [_convergence_spec(3)])
+        # everything that finished before the crash is on disk
+        assert interrupted.executed == 2
+        assert len(cache) == 2
+
+        resumed = Campaign(cache=cache)
+        results = resumed.run(good + [_convergence_spec(3)])
+        assert resumed.cached == 2
+        assert resumed.executed == 1
+        assert len(results) == 3
+
+    def test_cache_is_spec_keyed(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        campaign = Campaign(cache=cache)
+        campaign.run([_convergence_spec(0)])
+        # different params -> different key -> still executes
+        campaign.run([_convergence_spec(1)])
+        assert campaign.executed == 2
+
+
+class TestFigureCampaigns:
+    """The acceptance-criteria behaviours at test scale."""
+
+    def test_parallel_figure4_identical_to_serial(self):
+        serial = figure4_table(variant="loss", scale=TINY, values=(0.05,))
+        campaign = Campaign(workers=2)
+        parallel = figure4_table(
+            variant="loss", scale=TINY, values=(0.05,), campaign=campaign
+        )
+        assert serial.render() == parallel.render()
+        assert campaign.executed > 0
+
+    def test_figure4_rerun_hits_cache(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        first = Campaign(cache=cache)
+        table1 = figure4_table(
+            variant="loss", scale=TINY, values=(0.05,), campaign=first
+        )
+        assert first.executed > 0
+
+        second = Campaign(cache=cache)
+        table2 = figure4_table(
+            variant="loss", scale=TINY, values=(0.05,), campaign=second
+        )
+        assert second.executed == 0
+        assert second.cached == first.executed
+        assert table1.render() == table2.render()
+
+
+class TestSweepParsing:
+    def test_parse_single(self):
+        key, values = parse_sweep("connectivity=2,4,8")
+        assert key == "connectivity"
+        assert values == [2, 4, 8]
+
+    def test_parse_mixed_types(self):
+        assert parse_sweep("loss=0.01,0.05")[1] == [0.01, 0.05]
+        assert parse_sweep("topology=ring,tree")[1] == ["ring", "tree"]
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("", "loss", "=1,2", "loss=", "loss=,"):
+            with pytest.raises(ValidationError):
+                parse_sweep(bad)
+
+    def test_parse_sweeps_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            parse_sweeps(["loss=0.1", "loss=0.2"])
+
+    def test_parse_sweeps_mapping(self):
+        sweeps = parse_sweeps(["loss=0.1", "connectivity=2"])
+        assert sweeps == {"loss": [0.1], "connectivity": [2]}

@@ -65,3 +65,148 @@ class TestCommands:
         assert main(["heterogeneous", "--scale", "quick"]) == 0
         out = capsys.readouterr().out
         assert "heterogeneous" in out
+
+
+class TestCampaignCommand:
+    def test_parser_accepts_campaign(self):
+        args = make_parser().parse_args(
+            ["campaign", "figure4a", "--workers", "4", "--scale", "quick"]
+        )
+        assert args.command == "campaign"
+        assert args.experiment == "figure4a"
+        assert args.workers == 4
+
+    def test_parser_rejects_analytic_experiments(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["campaign", "figure1"])
+
+    def test_bad_sweep_key_errors(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign",
+                "figure4a",
+                "--scale",
+                "quick",
+                "--cache-dir",
+                str(tmp_path),
+                "--sweep",
+                "topology=ring",
+            ]
+        )
+        assert rc == 2
+        assert "does not sweep" in capsys.readouterr().err
+
+    def test_malformed_sweep_errors(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign",
+                "figure4a",
+                "--cache-dir",
+                str(tmp_path),
+                "--sweep",
+                "loss",
+            ]
+        )
+        assert rc == 2
+        assert "sweep spec" in capsys.readouterr().err
+
+    def test_campaign_runs_and_caches(self, tmp_path, capsys):
+        argv = [
+            "campaign",
+            "figure4b",
+            "--scale",
+            "quick",
+            "--workers",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--sweep",
+            "connectivity=2",
+            "--sweep",
+            "loss=0.05",
+            "--sweep",
+            "trials=2",
+            "--out",
+            str(tmp_path / "out"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "L=0.05" in out
+        assert "campaign:" in out
+        first_table = out.split("campaign:")[0]
+        assert (tmp_path / "out" / "figure4b.json").exists()
+        data = json.loads((tmp_path / "out" / "figure4b.json").read_text())
+        assert data["metadata"]["trials_executed"] > 0
+
+        # second invocation: everything comes from the cache
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 trials executed" in out
+        assert out.split("campaign:")[0] == first_table
+
+    def test_out_of_range_connectivity_sweep_errors(self, capsys):
+        rc = main(
+            [
+                "campaign",
+                "figure4a",
+                "--scale",
+                "quick",
+                "--no-cache",
+                "--sweep",
+                "connectivity=16",  # quick scale has n=16
+            ]
+        )
+        assert rc == 2
+        assert "must be below n=16" in capsys.readouterr().err
+
+    def test_figure6_trials_sweep_is_exact(self, capsys):
+        rc = main(
+            [
+                "campaign",
+                "figure6",
+                "--scale",
+                "quick",
+                "--no-cache",
+                "--sweep",
+                "trials=2",
+                "--sweep",
+                "size=10",
+                "--sweep",
+                "topology=ring",
+            ]
+        )
+        assert rc == 0
+        # one (topology, size) cell x exactly the 2 swept trials — not
+        # rescaled through scale.convergence_trials()
+        assert "2 trials executed" in capsys.readouterr().out
+
+    def test_bad_topology_value_errors(self, capsys):
+        rc = main(
+            ["campaign", "figure6", "--no-cache", "--sweep", "topology=torus"]
+        )
+        assert rc == 2
+        assert "ring" in capsys.readouterr().err
+
+    def test_workers_zero_errors(self, capsys):
+        rc = main(["campaign", "figure4a", "--no-cache", "--workers", "0"])
+        assert rc == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_campaign_no_cache(self, tmp_path, capsys):
+        argv = [
+            "campaign",
+            "figure4b",
+            "--scale",
+            "quick",
+            "--no-cache",
+            "--sweep",
+            "connectivity=2",
+            "--sweep",
+            "loss=0.05",
+            "--sweep",
+            "trials=2",
+        ]
+        assert main(argv) == 0
+        assert "cache=off" in capsys.readouterr().out
+
+
