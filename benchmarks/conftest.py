@@ -5,20 +5,38 @@ resulting data series (so ``pytest benchmarks/ --benchmark-only`` output
 contains the figures), and persists text+JSON artefacts under
 ``benchmarks/results/``.
 
+The session additionally emits ``results/BENCH_scenarios.json`` — a
+machine-readable summary of every benchmark that ran (wall time per
+bench, plus trial throughput for benches that report their trial count
+through the ``track_trials`` fixture) — so the performance trajectory is
+comparable across commits.  Selective runs merge into the existing file
+(per-entry, this session winning per nodeid) instead of clobbering it;
+every entry records the scale it was measured at, so mixed-scale
+summaries stay interpretable.  Delete the file for a from-scratch
+summary (stale entries of renamed benches persist until then).
+
 Scale control: set ``REPRO_BENCH_SCALE`` to ``quick`` / ``default`` /
 ``full`` (paper-sized: n=100, K=0.9999) before running.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
 import pytest
 
+from repro import __version__
 from repro.experiments.report import ExperimentRecord, ReportWriter
-from repro.experiments.runner import current_scale
+from repro.experiments.runner import SCALE_ENV, current_scale
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SUMMARY_PATH = os.path.join(RESULTS_DIR, "BENCH_scenarios.json")
+
+#: nodeid -> {"wall_s": float, "trials": Optional[int]} for this session.
+_BENCH_RECORDS: dict = {}
 
 
 @pytest.fixture(scope="session")
@@ -49,3 +67,71 @@ def record(report, scale):
         return entry
 
     return _record
+
+
+@pytest.fixture
+def track_trials(request):
+    """Report how many simulation trials a bench executed.
+
+    Calling ``track_trials(count)`` attaches the count to the test item;
+    the session summary then derives trials-per-second throughput for
+    this bench.
+    """
+
+    def _track(count: int) -> None:
+        request.node.user_properties.append(("trials", int(count)))
+
+    return _track
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-bench wall time (call phase only) for the summary."""
+    if report.when != "call" or not report.passed:
+        return
+    trials = dict(report.user_properties).get("trials")
+    _BENCH_RECORDS[report.nodeid] = {
+        "wall_s": round(report.duration, 4),
+        # scale is per entry, not per file: merged summaries may mix
+        # sessions run at different scales, and a wall time is only
+        # comparable to another at the same scale
+        "scale": os.environ.get(SCALE_ENV, "default"),
+        "trials": trials,
+        "trials_per_s": (
+            round(trials / report.duration, 3)
+            if trials and report.duration > 0
+            else None
+        ),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the machine-readable benchmark summary."""
+    if not _BENCH_RECORDS:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    benchmarks: dict = {}
+    try:
+        with open(SUMMARY_PATH, encoding="utf-8") as fh:
+            # a selective run (pytest benchmarks/bench_x.py -k one) must
+            # not clobber the other benches' entries: merge over the last
+            # summary, letting this session's results win per nodeid
+            benchmarks.update(json.load(fh).get("benchmarks", {}))
+    except (OSError, ValueError):
+        pass
+    benchmarks.update(_BENCH_RECORDS)
+    summary = {
+        # version/scale/python describe the session that last wrote the
+        # file; each merged entry carries its own scale, and
+        # session_wall_s sums only this session's benches (a merged
+        # total would add quick and full wall times together)
+        "version": __version__,
+        "scale": os.environ.get(SCALE_ENV, "default"),
+        "python": platform.python_version(),
+        "session_wall_s": round(
+            sum(r["wall_s"] for r in _BENCH_RECORDS.values()), 4
+        ),
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+    with open(SUMMARY_PATH, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")

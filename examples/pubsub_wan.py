@@ -3,15 +3,17 @@
 
 The introduction motivates adaptivity with heterogeneous environments:
 "local-area network links are usually more reliable than wide-area
-network links".  This example builds four LAN cliques joined by a lossy
-WAN backbone, and shows that
+network links".  This example builds on the ``wan-brownout`` scenario
+from the registry (``repro.scenario``) — four LAN cliques joined by a
+lossy WAN backbone whose backbone browns out mid-run — and shows that
 
 1. the Maximum Reliability Tree routes broadcasts through LAN links
    wherever possible and crosses the WAN the minimum number of times;
-2. a naive gossip baseline wastes messages retransmitting over the WAN;
-3. the adaptive protocol *learns* the tiering from scratch — after a
+2. the adaptive protocol *learns* the tiering from scratch — after a
    learning phase its broadcast plan converges to the optimal one built
-   from the true configuration.
+   from the true configuration;
+3. when the scenario's dynamics timeline degrades the WAN tier, the
+   same knowledge activity notices and re-tracks the change.
 
 Run:  python examples/pubsub_wan.py
 """
@@ -20,38 +22,58 @@ from repro import (
     AdaptiveBroadcast,
     AdaptiveParameters,
     BroadcastMonitor,
-    Configuration,
+    DynamicsDriver,
     KnowledgeParameters,
     Network,
     RandomSource,
     Simulator,
+    build_scenario,
     maximum_reliability_tree,
     optimize,
-    two_tier,
     verify_adaptiveness,
 )
+from repro.experiments.runner import current_scale, scaled
 
 CLUSTERS, CLUSTER_SIZE = 4, 5
-LAN_LOSS, WAN_LOSS = 0.01, 0.20
-K_TARGET = 0.99
+
+
+def deploy(spec, graph, config, seed):
+    """Adaptive stack at the scenario's reliability target ``K``."""
+    sim = Simulator()
+    network = Network(sim, config, RandomSource("pubsub-wan", seed))
+    monitor = BroadcastMonitor(graph.n)
+    params = AdaptiveParameters(
+        knowledge=KnowledgeParameters(delta=1.0, intervals=100, tick=1.0)
+    )
+    nodes = [
+        AdaptiveBroadcast(p, network, monitor, spec.k_target, params)
+        for p in graph.processes
+    ]
+    return network, monitor, nodes
 
 
 def main():
-    graph, lan_links, wan_links = two_tier(CLUSTERS, CLUSTER_SIZE)
-    config = Configuration.tiered(
-        graph, [(lan_links, LAN_LOSS), (wan_links, WAN_LOSS)]
-    )
+    # the registry scenario provides the topology, the tiered base
+    # configuration *and* the brownout timeline as one declarative spec
+    scale = scaled(current_scale("quick"), n=CLUSTERS * CLUSTER_SIZE)
+    spec = build_scenario("wan-brownout", scale)
+    graph, tiers = spec.topology.build_with_tiers()
+    lan_links, wan_links = list(tiers["lan"]), list(tiers["wan"])
+    config = spec.environment.base_configuration(graph, tiers)
+    lan_loss = spec.environment.loss
+    wan_loss = spec.environment.wan_loss
     print(
-        f"topology: {CLUSTERS} LAN cliques x {CLUSTER_SIZE} processes, "
-        f"{len(lan_links)} LAN links (L={LAN_LOSS}), "
-        f"{len(wan_links)} WAN links (L={WAN_LOSS})\n"
+        f"scenario '{spec.name}': {CLUSTERS} LAN cliques x "
+        f"{CLUSTER_SIZE} processes, "
+        f"{len(lan_links)} LAN links (L={lan_loss}), "
+        f"{len(wan_links)} WAN links (L={wan_loss})\n"
     )
 
     # 1. the optimal plan respects the tiering
     tree = maximum_reliability_tree(graph, config, root=0)
     wan_set = set(wan_links)
     wan_crossings = sum(1 for link in tree.links() if link in wan_set)
-    plan = optimize(tree, K_TARGET, config)
+    plan = optimize(tree, spec.k_target, config)
     wan_copies = sum(
         m for j, m in plan.counts.items() if tree.link_to(j) in wan_set
     )
@@ -65,34 +87,24 @@ def main():
     assert wan_crossings == CLUSTERS - 1
 
     # 2. the adaptive protocol learns the tiering from scratch
-    sim = Simulator()
-    network = Network(sim, config, RandomSource("pubsub-wan"))
-    monitor = BroadcastMonitor(graph.n)
-    params = AdaptiveParameters(
-        knowledge=KnowledgeParameters(delta=1.0, intervals=100, tick=1.0)
-    )
-    nodes = [
-        AdaptiveBroadcast(p, network, monitor, K_TARGET, params)
-        for p in graph.processes
-    ]
+    network, monitor, nodes = deploy(spec, graph, config, "learn")
     network.start()
-
     print("\nlearning the environment (heartbeats + Bayesian inference)...")
     for checkpoint in (25, 100, 400, 1200):
-        sim.run(until=float(checkpoint))
+        network.sim.run(until=float(checkpoint))
         view = nodes[0].view
         lan_est = view.loss_probability(lan_links[0]) if view.knows_link(lan_links[0]) else float("nan")
         wan_est = view.loss_probability(wan_links[0]) if view.knows_link(wan_links[0]) else float("nan")
         print(
             f"  t={checkpoint:5d}: known links "
             f"{len(view.known_links):3d}/{graph.link_count}, "
-            f"LAN estimate {lan_est:.3f} (true {LAN_LOSS}), "
-            f"WAN estimate {wan_est:.3f} (true {WAN_LOSS})"
+            f"LAN estimate {lan_est:.3f} (true {lan_loss}), "
+            f"WAN estimate {wan_est:.3f} (true {wan_loss})"
         )
 
-    # 3. after learning, the adaptive plan matches the optimal plan
+    # after learning, the adaptive plan matches the optimal plan
     result = verify_adaptiveness(
-        graph, config, nodes[0].view, root=0, k_target=K_TARGET,
+        graph, config, nodes[0].view, root=0, k_target=spec.k_target,
         count_tolerance=3,
     )
     print("\nadaptiveness check (Definition 2):")
@@ -112,11 +124,28 @@ def main():
 
     # a broadcast through the learned plan reaches everyone
     mid = nodes[0].broadcast({"topic": "market-data", "seq": 1})
-    sim.run(until=sim.now + 10.0)
+    network.sim.run(until=network.sim.now + 10.0)
     print(
         f"\npublish through the learned tree: delivered to "
         f"{monitor.delivery_count(mid)}/{graph.n} subscribers"
     )
+
+    # 3. the scenario's dynamics timeline: the WAN browns out mid-run,
+    # and the knowledge activity tracks the change on a fresh deployment
+    network, monitor, nodes = deploy(spec, graph, config, "brownout")
+    driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
+    driver.install()
+    network.start()
+    probe = wan_links[0]
+    print(f"\nreplaying the {spec.name} timeline (WAN degrades, then restores):")
+    for checkpoint in (140, 250, spec.duration):
+        network.sim.run(until=float(checkpoint))
+        true_now = network.config.loss_probability(probe)
+        est = nodes[0].view.loss_probability(probe)
+        print(
+            f"  t={int(checkpoint):5d}: true WAN loss {true_now:.2f}, "
+            f"node-0 estimate {est:.3f}"
+        )
 
 
 if __name__ == "__main__":

@@ -50,6 +50,23 @@ from repro.core.tree import SpanningTree
 from repro.core.viewtable import VectorView
 from repro.errors import ReproError
 from repro.protocols.flooding import FloodingBroadcast
+from repro.scenario.registry import build_scenario, scenario_names
+from repro.scenario.schema import (
+    BurstToggle,
+    CrashBurst,
+    EnvironmentSpec,
+    Heal,
+    LinkDegrade,
+    LinkRestore,
+    Partition,
+    ProcessJoin,
+    ProcessLeave,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenario.trial import run_scenario_trial
+from repro.sim.dynamics import DynamicsDriver
 from repro.protocols.gossip import GossipBroadcast, GossipParameters, calibrate_rounds
 from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
 from repro.sim.engine import Simulator
@@ -129,6 +146,23 @@ __all__ = [
     "Network",
     "NetworkOptions",
     "SimProcess",
+    "DynamicsDriver",
+    # scenarios
+    "ScenarioSpec",
+    "TopologySpec",
+    "EnvironmentSpec",
+    "WorkloadSpec",
+    "LinkDegrade",
+    "LinkRestore",
+    "Partition",
+    "Heal",
+    "CrashBurst",
+    "ProcessLeave",
+    "ProcessJoin",
+    "BurstToggle",
+    "build_scenario",
+    "scenario_names",
+    "run_scenario_trial",
     "MessageCategory",
     "MessageStats",
     "BroadcastMonitor",

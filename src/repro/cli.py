@@ -15,6 +15,12 @@ Usage::
     python -m repro campaign figure6 --sweep topology=tree --sweep size=24,48
     python -m repro campaign figure4b --sweep loss=0.01,0.05 --sweep connectivity=2,4
 
+    # declarative dynamic-environment scenarios (repro.scenario)
+    python -m repro scenario list
+    python -m repro scenario describe partition-heal
+    python -m repro scenario run partition-heal --workers 4 --scale quick
+    python -m repro scenario run wan-brownout --protocols adaptive,optimal,gossip
+
 Each experiment prints the regenerated data series (the same rows the
 paper plots) and, with ``--out``, writes text/JSON artefacts.  The
 ``campaign`` subcommand runs the simulated experiments through
@@ -41,6 +47,17 @@ from repro.experiments.heterogeneous import heterogeneity_table
 from repro.experiments.report import ExperimentRecord, ReportWriter
 from repro.experiments.runner import ExperimentScale, current_scale, scaled
 from repro.experiments.table1 import table1_render
+from repro.scenario.registry import (
+    build_scenario,
+    scenario_names,
+    scenario_trials,
+)
+from repro.scenario.run import (
+    DEFAULT_PROTOCOLS,
+    SCENARIO_SWEEP_KEYS,
+    scenario_reports,
+)
+from repro.scenario.trial import PROTOCOL_NAMES
 from repro.util.cache import TrialCache, default_cache_dir
 from repro.util.tables import SeriesTable
 
@@ -239,6 +256,47 @@ def _run_demo() -> int:
     return 0
 
 
+def _add_campaign_options(cmd: argparse.ArgumentParser, sweep_help: str) -> None:
+    """The shared option block of the campaign-backed subcommands."""
+    cmd.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="experiment size preset (default: REPRO_BENCH_SCALE or 'default')",
+    )
+    cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: all CPUs)",
+    )
+    cmd.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help=sweep_help,
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"trial cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+    )
+    cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk trial cache",
+    )
+    cmd.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write text/JSON artefacts to DIR",
+    )
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,55 +335,77 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     camp.add_argument("experiment", choices=CAMPAIGN_EXPERIMENTS)
-    camp.add_argument(
-        "--scale",
-        choices=["quick", "default", "full"],
-        default=None,
-        help="experiment size preset (default: REPRO_BENCH_SCALE or 'default')",
-    )
-    camp.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes (default: all CPUs)",
-    )
-    camp.add_argument(
-        "--sweep",
-        action="append",
-        default=[],
-        metavar="KEY=V1,V2,...",
-        help=(
+    _add_campaign_options(
+        camp,
+        sweep_help=(
             "override one sweep axis; repeatable (e.g. --sweep "
             "connectivity=2,4,8 --sweep loss=0.01,0.05 --sweep topology=tree)"
         ),
     )
-    camp.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help=f"trial cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+
+    scen = sub.add_parser(
+        "scenario",
+        help="declarative dynamic-environment scenarios (list/describe/run)",
+        description=(
+            "Run named dynamic-environment scenarios: a topology, a base "
+            "failure configuration, a deterministic dynamics timeline "
+            "(partitions, brownouts, churn, crash bursts) and a workload, "
+            "compared across protocols.  Trials run through the campaign "
+            "engine: parallel, cached, bit-identical to serial."
+        ),
     )
-    camp.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the on-disk trial cache",
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="list built-in scenarios")
+    desc = scen_sub.add_parser("describe", help="print one scenario's spec")
+    desc.add_argument("name", metavar="SCENARIO")
+    desc.add_argument(
+        "--scale", choices=["quick", "default", "full"], default=None
     )
-    camp.add_argument(
-        "--out",
-        metavar="DIR",
-        default=None,
-        help="also write text/JSON artefacts (with campaign metadata) to DIR",
+    run = scen_sub.add_parser(
+        "run", help="run one scenario across protocols"
+    )
+    run.add_argument("name", metavar="SCENARIO")
+    run.add_argument(
+        "--protocols",
+        default=",".join(DEFAULT_PROTOCOLS),
+        metavar="P1,P2,...",
+        help=(
+            "comma-separated protocol subset (choices: "
+            + ", ".join(PROTOCOL_NAMES)
+            + ")"
+        ),
+    )
+    _add_campaign_options(
+        run,
+        sweep_help=(
+            "override one axis; repeatable; keys: "
+            + ", ".join(SCENARIO_SWEEP_KEYS)
+            + " (multiple values print one table per combination)"
+        ),
     )
     return parser
 
 
-def _run_campaign(args: argparse.Namespace) -> int:
-    scale = current_scale(args.scale)
+def _campaign_setup(args: argparse.Namespace):
+    """Shared --workers/--cache-dir/--no-cache handling of the
+    campaign-backed subcommands; returns ``(campaign, workers, cache)``."""
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     cache = None if args.no_cache else TrialCache(args.cache_dir)
+    return Campaign(workers=workers, cache=cache), workers, cache
+
+
+def _campaign_summary(campaign: Campaign, workers: int, cache) -> str:
+    return (
+        f"campaign: {campaign.executed} trials executed, "
+        f"{campaign.cached} cache hits "
+        f"(workers={workers}, cache={cache.directory if cache else 'off'})"
+    )
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    scale = current_scale(args.scale)
     try:
-        campaign = Campaign(workers=workers, cache=cache)
+        campaign, workers, cache = _campaign_setup(args)
         sweeps = parse_sweeps(args.sweep)
         table = build_campaign_table(args.experiment, scale, sweeps, campaign)
     except ValueError as exc:
@@ -334,12 +414,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(table.render())
-    summary = (
-        f"campaign: {campaign.executed} trials executed, "
-        f"{campaign.cached} cache hits "
-        f"(workers={workers}, cache={cache.directory if cache else 'off'})"
-    )
-    print(f"\n{summary}")
+    print(f"\n{_campaign_summary(campaign, workers, cache)}")
     if args.out:
         writer = ReportWriter(args.out)
         writer.add(
@@ -361,21 +436,135 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_list() -> int:
+    """``repro list``: experiments plus the non-experiment subcommands."""
+    print("experiments:")
+    width = max(len(n) for n in _EXPERIMENTS)
+    for name, description in _EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    print(
+        "\ncampaign <experiment>  parallel cached run of any simulated "
+        "experiment above"
+    )
+    sweep_width = max(len(n) for n in _SWEEP_KEYS)
+    for name in CAMPAIGN_EXPERIMENTS:
+        print(f"  {name:<{sweep_width}}  --sweep {', '.join(_SWEEP_KEYS[name])}")
+    print(
+        "\nscenario list|describe|run  dynamic-environment scenarios "
+        "(protocol comparisons under stress)"
+    )
+    print(f"  built-ins: {', '.join(scenario_names())}")
+    print(f"  run --sweep keys: {', '.join(SCENARIO_SWEEP_KEYS)}")
+    print(f"  run --protocols:  {', '.join(PROTOCOL_NAMES)}")
+    print("\ndemo  30-second optimal-vs-gossip demo")
+    return 0
+
+
+def _integer_sweep_value(key: str, value: SweepValue) -> int:
+    """Sweep values for the integer axes must be whole numbers.
+
+    ``--sweep trials=2.9`` silently running 2 trials would change the
+    user's request without saying so; every other malformed sweep errors,
+    so these do too.
+    """
+    number = float(value)
+    if number != int(number):
+        raise ValidationError(
+            f"--sweep {key} takes integer values, got {value!r}"
+        )
+    return int(number)
+
+
+def _scenario_sweep_combos(
+    sweeps: Dict[str, List[SweepValue]],
+) -> List[Dict[str, SweepValue]]:
+    """Cartesian product of sweep values → one override dict per combo."""
+    combos: List[Dict[str, SweepValue]] = [{}]
+    for key, values in sweeps.items():
+        combos = [
+            {**combo, key: value} for combo in combos for value in values
+        ]
+    return combos
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        scale = current_scale(None)
+        width = max(len(n) for n in scenario_names())
+        for name in scenario_names():
+            spec = build_scenario(name, scale)
+            print(f"  {name:<{width}}  {spec.description}")
+        print(
+            f"\n  {scenario_trials(scale)} trials/protocol at "
+            f"{scale.name} scale; 'repro scenario describe <name>' for "
+            "the full spec"
+        )
+        return 0
+    scale = current_scale(args.scale)
+    if args.scenario_command == "describe":
+        try:
+            print(build_scenario(args.name, scale).describe())
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    # run
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    try:
+        if not protocols:
+            raise ValidationError(
+                "--protocols needs at least one protocol; choose from "
+                + ", ".join(PROTOCOL_NAMES)
+            )
+        campaign, workers, cache = _campaign_setup(args)
+        sweeps = parse_sweeps(args.sweep)
+        for key in sweeps:
+            if key not in SCENARIO_SWEEP_KEYS:
+                raise ValidationError(
+                    f"scenario runs do not sweep {key!r}; supported keys: "
+                    + ", ".join(SCENARIO_SWEEP_KEYS)
+                )
+        combos = [
+            {k: (_integer_sweep_value(k, v) if k in ("n", "trials")
+                 else float(v))
+             for k, v in combo.items()}
+            for combo in _scenario_sweep_combos(sweeps)
+        ]
+        # all combinations batch through ONE campaign run: the worker
+        # pool spins up once and combos overlap instead of barriering
+        reports = scenario_reports(
+            args.name,
+            combos,
+            protocols=protocols,
+            scale=scale,
+            campaign=campaign,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.render())
+    print(f"\n{_campaign_summary(campaign, workers, cache)}")
+    if args.out:
+        for report in reports:
+            report.write(args.out)
+        print(f"artefacts written to {args.out}/")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(n) for n in _EXPERIMENTS)
-        for name, description in _EXPERIMENTS.items():
-            print(f"  {name:<{width}}  {description}")
-        print(
-            "\n  campaign <experiment>  parallel cached run of any "
-            "simulated experiment above"
-        )
-        return 0
+        return _run_list()
     if args.command == "demo":
         return _run_demo()
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
 
     scale = current_scale(args.scale)
     if args.command == "table1":

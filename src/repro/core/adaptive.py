@@ -189,6 +189,23 @@ class AdaptiveBroadcast(ReliableBroadcastProcess):
             subgraph, self.view, root=self.pid, restrict_to=reachable
         )
 
+    def plan_signature(self) -> tuple:
+        """Hashable fingerprint of the current plan (tree links + counts).
+
+        Re-convergence instrumentation for dynamic-environment scenarios:
+        the plan changes while the environment is disturbed (the tree
+        shrinks to the reachable fragment, copy counts inflate) and
+        settles back once ``(Lambda_k, C_k)`` re-tracks ``(G, C)`` —
+        comparing signatures across checkpoints detects both phases
+        without holding protocol internals.
+        """
+        tree = self.plan_tree()
+        counts = optimize(tree, self.k_target, self.view).counts
+        return (
+            tuple(sorted(tuple(link) for link in tree.links())),
+            tuple(sorted(counts.items())),
+        )
+
     def broadcast(self, payload: Any) -> MessageId:
         """Algorithm 1 over the approximated knowledge."""
         tree = self.plan_tree()

@@ -52,7 +52,16 @@ class OptimalBroadcast(ReliableBroadcastProcess):
     ) -> None:
         super().__init__(pid, network, monitor, k_target)
         self.recompute_at_receiver = recompute_at_receiver
-        self._view: ReliabilityView = network.config
+
+    @property
+    def _view(self) -> ReliabilityView:
+        """The oracle's knowledge: always the *current* true configuration.
+
+        Read through the network on every use so dynamic environments
+        (``replace_configuration`` / scenario timelines) keep the optimal
+        algorithm optimal for the environment of the moment.
+        """
+        return self.network.config
 
     # -- plan construction ------------------------------------------------------------
 

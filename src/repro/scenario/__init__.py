@@ -1,0 +1,80 @@
+"""Declarative dynamic-environment scenarios.
+
+The paper's pitch is *adaptivity*: the protocol converges to the optimal
+plan whenever the environment "remains stable for long enough".  This
+package makes "an unreliable network that changes over time" a
+first-class object:
+
+* :mod:`repro.scenario.schema` — JSON-able dataclasses composing a
+  topology, a base configuration, a *dynamics timeline* (typed events at
+  simulated times), a workload and a duration into a
+  :class:`~repro.scenario.schema.ScenarioSpec`;
+* :mod:`repro.scenario.registry` — named built-in scenarios
+  (``partition-heal``, ``wan-brownout``, ...) sized by the experiment
+  scale presets;
+* :mod:`repro.scenario.trial` — the spawn-safe seeded trial runner that
+  deploys any of the five protocols into a scenario;
+* :mod:`repro.scenario.run` — campaign compilation: scenario trials
+  become :class:`~repro.experiments.campaign.TrialSpec`\\ s (parallel,
+  cached, bit-identical to serial) aggregated into protocol-comparison
+  tables.
+
+Timeline events are applied by :class:`repro.sim.dynamics.DynamicsDriver`
+through the engine's deterministic ``(time, priority, seq)`` ordering, so
+scenario trials stay pure functions of their scalar parameters.
+"""
+
+from repro.scenario.registry import (
+    build_scenario,
+    describe_scenario,
+    scenario_names,
+    scenario_trials,
+)
+from repro.scenario.run import (
+    SCENARIO_SWEEP_KEYS,
+    ScenarioReport,
+    scenario_report,
+    scenario_reports,
+)
+from repro.scenario.schema import (
+    BurstToggle,
+    CrashBurst,
+    EnvironmentSpec,
+    Heal,
+    LinkDegrade,
+    LinkRestore,
+    Partition,
+    ProcessJoin,
+    ProcessLeave,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    event_from_json,
+)
+from repro.scenario.trial import PROTOCOL_NAMES, run_scenario_trial
+
+__all__ = [
+    "ScenarioSpec",
+    "TopologySpec",
+    "EnvironmentSpec",
+    "WorkloadSpec",
+    "LinkDegrade",
+    "LinkRestore",
+    "Partition",
+    "Heal",
+    "CrashBurst",
+    "ProcessLeave",
+    "ProcessJoin",
+    "BurstToggle",
+    "event_from_json",
+    "build_scenario",
+    "describe_scenario",
+    "scenario_names",
+    "scenario_trials",
+    "run_scenario_trial",
+    "PROTOCOL_NAMES",
+    "ScenarioReport",
+    "scenario_report",
+    "scenario_reports",
+    "SCENARIO_SWEEP_KEYS",
+]

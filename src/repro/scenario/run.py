@@ -1,0 +1,270 @@
+"""Campaign execution of scenarios and protocol-comparison reporting.
+
+:func:`scenario_report` compiles a scenario's ``protocols x trials``
+matrix into :class:`~repro.experiments.campaign.TrialSpec`\\ s and runs
+them through a :class:`~repro.experiments.campaign.Campaign` — so
+scenario runs inherit the whole campaign contract for free: parallel
+fan-out over worker processes, on-disk caching keyed by content hash,
+resume-after-interrupt, and aggregates folded in submission order so the
+printed table is **bit-identical** to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.experiments.runner import ExperimentScale, current_scale, scaled
+from repro.scenario.registry import (
+    MAX_SCENARIO_N,
+    build_scenario,
+    scenario_trials,
+)
+from repro.scenario.schema import ScenarioSpec
+from repro.scenario.trial import PROTOCOL_NAMES, TRIAL_FN
+from repro.util.tables import render_table
+
+#: Keys ``repro scenario run --sweep`` accepts.
+SCENARIO_SWEEP_KEYS = ("n", "trials", "loss", "crash", "duration")
+
+#: Default protocol comparison set (all five compare; the heavyweight
+#: two-phase baseline is opt-in via --protocols).
+DEFAULT_PROTOCOLS = ("adaptive", "optimal", "gossip", "flooding")
+
+
+@dataclass
+class ScenarioReport:
+    """One scenario's protocol-comparison table (renderable + JSON-able)."""
+
+    scenario: str
+    description: str
+    scale: str
+    trials: int
+    overrides: Dict[str, float] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self, precision: int = 4) -> str:
+        headers = [
+            "protocol",
+            "delivery",
+            "data msgs",
+            "total msgs",
+            "reconv time",
+            "reconv frac",
+        ]
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row["protocol"],
+                    row["delivery_ratio"],
+                    row["data_messages"],
+                    row["total_messages"],
+                    row["reconv_time"],
+                    row["reconverged"],
+                ]
+            )
+        suffix = "".join(
+            f" {k}={v:g}" for k, v in sorted(self.overrides.items())
+        )
+        title = (
+            f"scenario {self.scenario} ({self.scale} scale, "
+            f"{self.trials} trials{suffix}) — {self.description}"
+        )
+        return render_table(headers, table_rows, title=title, precision=precision)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "description": self.description,
+            "scale": self.scale,
+            "trials": self.trials,
+            "overrides": dict(self.overrides),
+            "rows": [dict(r) for r in self.rows],
+        }
+
+    def write(self, directory: str) -> str:
+        """Persist text + JSON artefacts; returns the JSON path."""
+        os.makedirs(directory, exist_ok=True)
+        # scale, protocol selection and trials are all part of the stem:
+        # runs differing in any of --scale/--protocols/--sweep write one
+        # artefact pair per combination instead of overwriting
+        protocols = "-".join(str(row["protocol"]) for row in self.rows)
+        stem = f"scenario_{self.scenario}_{self.scale}_{protocols}" \
+               f"_trials{self.trials}"
+        if self.overrides:
+            stem += "_" + "_".join(
+                f"{k}{v:g}" for k, v in sorted(self.overrides.items())
+            )
+        with open(os.path.join(directory, f"{stem}.txt"), "w") as fh:
+            fh.write(self.render() + "\n")
+        path = os.path.join(directory, f"{stem}.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+        return path
+
+
+def compile_specs(
+    scenario: str,
+    protocols: Sequence[str],
+    scale_name: str,
+    trials: int,
+    overrides: Optional[Dict[str, float]] = None,
+) -> List[TrialSpec]:
+    """The ``protocols x trials`` grid as seed-complete campaign specs."""
+    overrides = overrides or {}
+    specs: List[TrialSpec] = []
+    for protocol in protocols:
+        for trial in range(trials):
+            specs.append(
+                TrialSpec.make(
+                    TRIAL_FN,
+                    scenario=scenario,
+                    protocol=protocol,
+                    scale=scale_name,
+                    trial=trial,
+                    **overrides,
+                )
+            )
+    return specs
+
+
+def _validated_spec(
+    scenario: str, scale: ExperimentScale, overrides: Dict[str, float]
+) -> ScenarioSpec:
+    """Build the spec eagerly so bad sweeps fail before any fan-out."""
+    check_scale = scale
+    if "n" in overrides:
+        check_scale = scaled(scale, n=int(overrides["n"]))
+    spec: ScenarioSpec = build_scenario(scenario, check_scale)
+    if "n" in overrides and spec.topology.n != int(overrides["n"]):
+        # a builder may cap (MAX_SCENARIO_N) or round (two_tier clusters)
+        # the system size; refuse rather than mislabel the results
+        raise ValidationError(
+            f"scenario {scenario!r} cannot run at n={overrides['n']} "
+            f"(the builder sized it to n={spec.topology.n}; scenario "
+            f"systems cap at n={MAX_SCENARIO_N} and cluster topologies "
+            "round to whole clusters) — sweep a supported n instead"
+        )
+    spec.with_overrides(
+        loss=overrides.get("loss"),
+        crash=overrides.get("crash"),
+        duration=overrides.get("duration"),
+    )
+    return spec
+
+
+def _protocol_row(
+    protocol: str, chunk: Sequence[Dict[str, float]]
+) -> Dict[str, object]:
+    row: Dict[str, object] = {"protocol": protocol}
+    for metric in ("delivery_ratio", "data_messages", "total_messages"):
+        row[metric] = Campaign.aggregate(chunk, metric).mean
+    if all(r["reconverged"] < 0.0 for r in chunk):
+        row["reconv_time"] = None
+        row["reconverged"] = None
+    else:
+        row["reconv_time"] = Campaign.aggregate(chunk, "reconv_time").mean
+        row["reconverged"] = Campaign.aggregate(chunk, "reconverged").mean
+    return row
+
+
+def scenario_reports(
+    scenario: str,
+    combos: Sequence[Dict[str, float]],
+    protocols: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    campaign: Optional[Campaign] = None,
+) -> List[ScenarioReport]:
+    """Run one scenario for several sweep combinations in one batch.
+
+    Every combination's ``protocols x trials`` specs go through a single
+    :meth:`Campaign.run`, so worker pools spin up once and stragglers of
+    one combination overlap with the next instead of forming barriers.
+    Each ``combo`` may carry ``n``, ``loss``, ``crash``, ``duration``
+    and ``trials``; results are sliced back per combination, so the
+    tables are identical to running the combinations separately.
+    """
+    scale = scale or current_scale()
+    campaign = campaign or Campaign()
+    protocols = tuple(protocols or DEFAULT_PROTOCOLS)
+    for protocol in protocols:
+        if protocol not in PROTOCOL_NAMES:
+            raise ValidationError(
+                f"unknown protocol {protocol!r}; choose from "
+                + ", ".join(PROTOCOL_NAMES)
+            )
+
+    prepared = []
+    all_specs: List[TrialSpec] = []
+    for combo in combos:
+        overrides = dict(combo)
+        trials_override = overrides.pop("trials", None)
+        trials = scenario_trials(
+            scale, int(trials_override) if trials_override is not None else None
+        )
+        if trials < 1:
+            raise ValidationError(f"trials must be >= 1, got {trials}")
+        spec = _validated_spec(scenario, scale, overrides)
+        # the workers rebuild the scale from its preset name, so the
+        # system size must ride along explicitly — otherwise a custom
+        # scaled(...) scale would silently fall back to the preset's n
+        spec_overrides = dict(overrides)
+        spec_overrides["n"] = spec.topology.n
+        specs = compile_specs(
+            scenario, protocols, scale.name, trials, spec_overrides
+        )
+        prepared.append((spec, trials, overrides, len(specs)))
+        all_specs.extend(specs)
+
+    results = campaign.run(all_specs)
+
+    reports: List[ScenarioReport] = []
+    cursor = 0
+    for spec, trials, overrides, count in prepared:
+        slice_ = results[cursor : cursor + count]
+        cursor += count
+        report = ScenarioReport(
+            scenario=scenario,
+            description=spec.description,
+            scale=scale.name,
+            trials=trials,
+            overrides=overrides,
+        )
+        for protocol, chunk in zip(protocols, chunked(slice_, trials)):
+            report.rows.append(_protocol_row(protocol, chunk))
+        reports.append(report)
+    return reports
+
+
+def scenario_report(
+    scenario: str,
+    protocols: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    trials: Optional[int] = None,
+    campaign: Optional[Campaign] = None,
+    overrides: Optional[Dict[str, float]] = None,
+) -> ScenarioReport:
+    """Run one scenario across protocols and aggregate the comparison.
+
+    Args:
+        scenario: built-in scenario name.
+        protocols: protocol subset (default: adaptive/optimal/gossip/
+            flooding); each must be one of :data:`PROTOCOL_NAMES`.
+        scale: sizing preset (default: ambient scale).
+        trials: seeded trials per protocol (default: scale-derived).
+        campaign: execution engine (default: serial, cache-less).
+        overrides: sweep overrides — ``n``, ``loss``, ``crash``,
+            ``duration`` flow into the trial task (``trials`` is handled
+            via the ``trials`` argument).
+    """
+    combo: Dict[str, float] = dict(overrides or {})
+    if trials is not None:
+        combo["trials"] = trials
+    return scenario_reports(
+        scenario, [combo], protocols=protocols, scale=scale, campaign=campaign
+    )[0]

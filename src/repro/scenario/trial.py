@@ -1,0 +1,236 @@
+"""Seeded execution of one (scenario, protocol) trial.
+
+:func:`run_scenario_trial` deploys one protocol stack into a scenario's
+network, installs the :class:`~repro.sim.dynamics.DynamicsDriver`, drives
+the declared workload and reports flat float metrics.  The module-level
+:func:`scenario_trial_task` is the spawn-safe campaign entry point: it
+rebuilds everything from JSON-able scalars, so scenario trials are pure
+functions of ``(scenario, protocol, scale, trial, overrides)`` and run
+bit-identically in any process.
+
+Metrics:
+
+* ``delivery_ratio`` — mean final delivery ratio over all workload
+  broadcasts (broadcasts issued mid-disruption count in full: surviving
+  stress is exactly what the comparison is about);
+* ``data_messages`` / ``total_messages`` — cost, all broadcasts plus all
+  protocol overhead (heartbeats, ACKs, digests);
+* ``failed_plans`` — broadcasts a planning protocol refused outright
+  because the target ``K`` was unattainable under its current knowledge
+  (e.g. the oracle mid-partition); they score a delivery ratio of 0;
+* ``reconv_time`` / ``reconverged`` — adaptive protocol only: time from
+  the final timeline event until every process's ``(Lambda_k, C_k)``
+  point-tracks the (restored) true ``(G, C)`` within the scenario's
+  tolerance, capped at the remaining run time when convergence is not
+  reached.  ``-1`` for protocols that hold no learned knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.convergence import ConvergenceCriterion, views_converged
+from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.knowledge import KnowledgeParameters
+from repro.core.optimal import OptimalBroadcast
+from repro.errors import UnreachableTargetError, ValidationError
+from repro.experiments.runner import current_scale, scaled
+from repro.protocols.flooding import FloodingBroadcast
+from repro.protocols.gossip import GossipBroadcast, GossipParameters
+from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
+from repro.scenario.registry import build_scenario
+from repro.scenario.schema import ScenarioSpec
+from repro.sim.dynamics import DynamicsDriver
+from repro.sim.engine import Simulator
+from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
+from repro.sim.network import Network, NetworkOptions
+from repro.sim.trace import MessageCategory
+from repro.util.rng import RandomSource
+
+#: Knowledge-activity sizing for scenario runs: delta/tick of 1.0 as in
+#: the paper's convergence experiments, a coarser interval count (50) to
+#: keep heartbeat snapshots cheap at scenario durations.
+SCENARIO_KNOWLEDGE = KnowledgeParameters(delta=1.0, intervals=50, tick=1.0)
+
+#: Poll period of the re-convergence watcher (omniscient, message-free).
+RECONV_POLL = 5.0
+
+#: The five comparable protocol stacks.
+PROTOCOL_NAMES = ("adaptive", "optimal", "gossip", "flooding", "two-phase")
+
+
+def _deploy(
+    protocol: str,
+    spec: ScenarioSpec,
+    network: Network,
+    monitor: BroadcastMonitor,
+    rng: RandomSource,
+) -> List[object]:
+    graph = network.graph
+    if protocol == "adaptive":
+        params = AdaptiveParameters(knowledge=SCENARIO_KNOWLEDGE)
+        return [
+            AdaptiveBroadcast(p, network, monitor, spec.k_target, params)
+            for p in graph.processes
+        ]
+    if protocol == "optimal":
+        return [
+            OptimalBroadcast(p, network, monitor, spec.k_target)
+            for p in graph.processes
+        ]
+    if protocol == "gossip":
+        params = GossipParameters(rounds=spec.gossip_rounds)
+        return [
+            GossipBroadcast(p, network, monitor, spec.k_target, params)
+            for p in graph.processes
+        ]
+    if protocol == "flooding":
+        return [
+            FloodingBroadcast(p, network, monitor, spec.k_target)
+            for p in graph.processes
+        ]
+    if protocol == "two-phase":
+        params = TwoPhaseParameters(
+            gossip_period=2.0,
+            rounds=max(1, int(spec.duration / 2.0)),
+        )
+        return [
+            TwoPhaseBroadcast(
+                p, network, monitor, spec.k_target, params,
+                rng=rng.child("twophase", p),
+            )
+            for p in graph.processes
+        ]
+    raise ValidationError(
+        f"unknown protocol {protocol!r}; choose from "
+        + ", ".join(PROTOCOL_NAMES)
+    )
+
+
+def _workload_origins(
+    spec: ScenarioSpec, trial: int, count: int
+) -> List[int]:
+    n = spec.topology.n
+    policy = spec.workload.origin
+    if policy == "fixed":
+        return [0] * count
+    if policy == "random":
+        # keyed by (scenario, trial) only — NOT by protocol — so every
+        # protocol row of a comparison table faces the same broadcast
+        # schedule and differences measure the protocol, not the workload
+        stream = RandomSource("repro-scenario-workload", spec.name, trial)
+        return [stream.integer(n) for _ in range(count)]
+    # rotate: round-robin offset by the trial index, so trials sample
+    # different roots but the schedule stays seed-free
+    return [(trial + i) % n for i in range(count)]
+
+
+def run_scenario_trial(
+    spec: ScenarioSpec, protocol: str, trial: int
+) -> Dict[str, float]:
+    """Run one seeded trial; returns the flat metric dict."""
+    graph, tiers = spec.topology.build_with_tiers()
+    config = spec.environment.base_configuration(graph, tiers)
+    sim = Simulator()
+    root = RandomSource("repro-scenario", spec.name, protocol, trial)
+    options = NetworkOptions(
+        crash_model=spec.environment.crash_model,
+        markov_mean_down_ticks=spec.environment.mean_down_ticks,
+    )
+    network = Network(sim, config, root.child("net"), options=options)
+    monitor = BroadcastMonitor(graph.n)
+    nodes = _deploy(protocol, spec, network, monitor, root)
+
+    driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
+    driver.install()
+
+    times = spec.workload.broadcast_times()
+    origins = _workload_origins(spec, trial, len(times))
+    mids: List[object] = []
+    failed_plans = [0]
+
+    def issue(origin: int) -> None:
+        try:
+            mids.append(
+                network.process(origin).broadcast({"scenario": spec.name})
+            )
+        except UnreachableTargetError:
+            # a planning protocol may (correctly) find the target K
+            # unattainable mid-disruption — e.g. the oracle during a
+            # partition; the broadcast fails outright and scores 0
+            failed_plans[0] += 1
+            mids.append(("failed-plan", origin, sim.now))
+
+    for when, origin in zip(times, origins):
+        if when >= spec.duration:
+            continue
+        sim.schedule_at(when, lambda o=origin: issue(o), name="workload")
+
+    watcher_box: Dict[str, ConvergenceMonitor] = {}
+    if protocol == "adaptive" and spec.timeline:
+        criterion = ConvergenceCriterion(
+            mode="point",
+            point_tolerance=spec.reconv_tolerance,
+            require_full_topology=True,
+        )
+        views = [node.view for node in nodes]
+
+        def arm_watcher() -> None:
+            # created at the final event's instant (after it applied —
+            # dynamics run at a more urgent priority), so the predicate
+            # compares against the settled configuration
+            watcher_box["watcher"] = ConvergenceMonitor(
+                sim,
+                lambda: views_converged(views, network.config, criterion),
+                period=RECONV_POLL,
+            )
+
+        sim.schedule_at(driver.last_event_time, arm_watcher, name="arm-reconv")
+
+    network.start()
+    sim.run(until=spec.duration)
+
+    ratios = [monitor.delivery_ratio(mid) for mid in mids]
+    result: Dict[str, float] = {
+        "delivery_ratio": sum(ratios) / len(ratios) if ratios else 0.0,
+        "data_messages": float(network.stats.sent(MessageCategory.DATA)),
+        "total_messages": float(network.stats.sent()),
+        "broadcasts": float(len(mids)),
+        "failed_plans": float(failed_plans[0]),
+    }
+    watcher = watcher_box.get("watcher")
+    if watcher is None:
+        result["reconverged"] = -1.0
+        result["reconv_time"] = -1.0
+    else:
+        window = spec.duration - driver.last_event_time
+        if watcher.converged:
+            result["reconverged"] = 1.0
+            result["reconv_time"] = watcher.converged_at - driver.last_event_time
+        else:
+            result["reconverged"] = 0.0
+            result["reconv_time"] = window
+    return result
+
+
+def scenario_trial_task(
+    *,
+    scenario: str,
+    protocol: str,
+    scale: str,
+    trial: int,
+    n: Optional[int] = None,
+    loss: Optional[float] = None,
+    crash: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> Dict[str, float]:
+    """Campaign task: rebuild the scenario from scalars and run one trial."""
+    scale_obj = current_scale(str(scale))
+    if n is not None:
+        scale_obj = scaled(scale_obj, n=int(n))
+    spec = build_scenario(str(scenario), scale_obj)
+    spec = spec.with_overrides(loss=loss, crash=crash, duration=duration)
+    return run_scenario_trial(spec, str(protocol), int(trial))
+
+
+TRIAL_FN = "repro.scenario.trial:scenario_trial_task"

@@ -114,6 +114,7 @@ class MarkovCrashModel(CrashModel):
         mean_down_ticks: float = 5.0,
         on_crash: Optional[Callable[[ProcessId, float], None]] = None,
         on_recover: Optional[Callable[[ProcessId, float, int], None]] = None,
+        start_time: float = 0.0,
     ) -> None:
         probs = np.asarray(crash_probabilities, dtype=float)
         if probs.ndim != 1:
@@ -132,9 +133,15 @@ class MarkovCrashModel(CrashModel):
         self._p_fail = np.where(
             probs > 0, probs * self._p_repair / (1.0 - probs), 0.0
         )
+        if start_time < 0.0:
+            raise ValidationError(f"start_time must be >= 0, got {start_time}")
         self._rng = rng.child("markov-crash")
         self._down = np.zeros(len(probs), dtype=bool)
-        self._last_tick = np.zeros(len(probs), dtype=np.int64)
+        # a model created mid-run (scenario burst toggles, mid-run
+        # reconfiguration) starts all-up *at that instant* — advancing
+        # from tick 0 would replay the whole past, firing retroactive
+        # crash/recovery callbacks with timestamps before `now`
+        self._last_tick = np.full(len(probs), int(start_time), dtype=np.int64)
         self._down_since = np.zeros(len(probs), dtype=np.int64)
         self._on_crash = on_crash
         self._on_recover = on_recover
@@ -172,6 +179,27 @@ class MarkovCrashModel(CrashModel):
 
     def down_fraction(self, p: ProcessId) -> float:
         return float(self._probs[p])
+
+    def force_recover_all(self, now: float) -> None:
+        """Recover every currently-down process, firing ``on_recover``.
+
+        Called when this model is being replaced mid-run (burst-mode
+        toggles, reconfiguration): the replacement starts all-up, so any
+        process left in a down sojourn here would otherwise be stranded
+        with its ``_down`` flag set forever.  States are first advanced
+        to ``now`` so sojourns that already ended lazily recover with
+        their natural timing.
+        """
+        tick_now = int(now)
+        for p in range(len(self._probs)):
+            self._advance(p, now)
+            if not self._down[p]:
+                continue
+            self._down[p] = False
+            if self._on_recover is not None:
+                self._on_recover(
+                    p, now, max(1, tick_now - int(self._down_since[p]))
+                )
 
 
 def make_crash_model(

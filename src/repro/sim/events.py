@@ -18,6 +18,11 @@ DEFAULT_PRIORITY = 0
 #: so periodic protocol timers observe a consistent pre-delivery state).
 DELIVERY_PRIORITY = 10
 
+#: Priority used for scenario dynamics (environment changes apply *before*
+#: any timer or delivery scheduled at the same instant, so every callback
+#: at time t observes the post-change configuration).
+DYNAMICS_PRIORITY = -10
+
 
 @dataclass(order=True)
 class Event:

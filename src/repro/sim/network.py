@@ -15,7 +15,7 @@ Every attempt is counted in :class:`repro.sim.trace.MessageStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError, ValidationError
@@ -89,8 +89,21 @@ class Network:
                 mean_down_ticks=self._options.markov_mean_down_ticks,
                 on_crash=self._on_process_crash,
                 on_recover=self._on_process_recover,
+                start_time=self._sim.now,
             )
         raise ValidationError(f"unknown crash model {kind!r}")
+
+    def _retire_crash_model(self) -> None:
+        """Recover anything the outgoing crash model holds down.
+
+        A replacement model starts all-up; without this, a process that
+        happened to be mid-sojourn when the model was swapped would keep
+        its down flag forever and never send, receive or fire timers
+        again.
+        """
+        retire = getattr(self._crash_model, "force_recover_all", None)
+        if retire is not None:
+            retire(self._sim.now)
 
     def _on_process_crash(self, p: ProcessId, when: float) -> None:
         proc = self._processes.get(p)
@@ -123,6 +136,11 @@ class Network:
     @property
     def crash_model(self) -> CrashModel:
         return self._crash_model
+
+    @property
+    def options(self) -> NetworkOptions:
+        """The current substrate options (crash model kind included)."""
+        return self._options
 
     def register(self, process: "SimProcess") -> None:
         """Attach a protocol process; ids must be unique and in the graph."""
@@ -171,9 +189,35 @@ class Network:
             raise ValidationError(
                 "replace_configuration requires an identical topology"
             )
+        self._retire_crash_model()
         self._config = config
         self._rng = self._rng.child("reconfigured")
         self._links = LossyLinkLayer(config, self._rng)
+        self._crash_model = self._make_crash_model()
+
+    def set_crash_model(
+        self, kind: str, mean_down_ticks: Optional[float] = None
+    ) -> None:
+        """Switch the crash model mid-run (scenario burst-mode toggles).
+
+        The current configuration's crash vector is kept; only the model
+        *kind* (``"none"`` / ``"iid"`` / ``"markov"``) and, optionally, the
+        Markov mean down sojourn change.  The rebuilt model draws from a
+        fresh child stream, so toggling is deterministic per seed and a
+        toggle never replays the replaced model's draws.  Markov crash and
+        recovery callbacks stay wired to the registered processes.
+        """
+        if kind not in ("none", "iid", "markov"):
+            # validate BEFORE touching any state: a bad kind must not
+            # retire the live model or poison self._options (which every
+            # later replace_configuration would rebuild from)
+            raise ValidationError(f"unknown crash model {kind!r}")
+        self._retire_crash_model()
+        options = replace(self._options, crash_model=kind)
+        if mean_down_ticks is not None:
+            options = replace(options, markov_mean_down_ticks=mean_down_ticks)
+        self._options = options
+        self._rng = self._rng.child("crash-model", kind)
         self._crash_model = self._make_crash_model()
 
     # -- transmission -------------------------------------------------------------
