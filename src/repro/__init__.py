@@ -68,6 +68,18 @@ from repro.scenario.schema import (
 from repro.scenario.trial import run_scenario_trial
 from repro.sim.dynamics import DynamicsDriver
 from repro.protocols.gossip import GossipBroadcast, GossipParameters, calibrate_rounds
+from repro.protocols.registry import (
+    AdaptiveProtocolParams,
+    DeployContext,
+    FloodingProtocolParams,
+    GossipProtocolParams,
+    OptimalProtocolParams,
+    ProtocolSpec,
+    TwoPhaseProtocolParams,
+    protocol_names,
+    register_protocol,
+    resolve_protocol,
+)
 from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
 from repro.sim.engine import Simulator
 from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
@@ -93,6 +105,21 @@ from repro.types import Link, ProcessId
 from repro.util.rng import RandomSource
 
 __version__ = "1.0.0"
+
+# the public facade: repro.api (imported last — it builds on everything
+# above; `import repro` is enough to reach repro.api.*)
+from repro import api
+from repro.api import (
+    ComparisonResult,
+    ProtocolResult,
+    TrialResult,
+    compare,
+    get_protocol,
+    list_protocols,
+    list_scenarios,
+    run_scenario,
+    run_trial,
+)
 
 __all__ = [
     # topology
@@ -141,6 +168,27 @@ __all__ = [
     "FloodingBroadcast",
     "TwoPhaseBroadcast",
     "TwoPhaseParameters",
+    # protocol registry + public api
+    "api",
+    "ProtocolSpec",
+    "DeployContext",
+    "register_protocol",
+    "resolve_protocol",
+    "get_protocol",
+    "protocol_names",
+    "list_protocols",
+    "list_scenarios",
+    "AdaptiveProtocolParams",
+    "OptimalProtocolParams",
+    "GossipProtocolParams",
+    "FloodingProtocolParams",
+    "TwoPhaseProtocolParams",
+    "run_trial",
+    "run_scenario",
+    "compare",
+    "TrialResult",
+    "ProtocolResult",
+    "ComparisonResult",
     # simulation
     "Simulator",
     "Network",

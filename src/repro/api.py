@@ -1,0 +1,410 @@
+"""Public programmatic facade of :mod:`repro`.
+
+One stable surface for programmatic users — protocol discovery and
+registration, seeded trials, scenario comparisons — so scripts never
+need to reach into ``repro.core`` / ``repro.sim`` internals:
+
+    import repro.api as api
+
+    api.list_protocols()                      # registered ProtocolSpecs
+    api.get_protocol("twophase").name         # alias -> "two-phase"
+    api.run_trial("partition-heal", "gossip") # one seeded TrialResult
+    api.compare(["adaptive", "gossip"],       # ComparisonResult
+                scenario="partition-heal", scale="quick")
+
+Everything returns typed result records (:class:`TrialResult`,
+:class:`ProtocolResult`, :class:`ComparisonResult`) rather than loose
+dicts.  Protocols registered at runtime with :func:`register_protocol`
+work everywhere in-process; campaign fan-out (``workers > 1``) rebuilds
+trials in spawned workers, so parallel runs additionally need the
+protocol importable there — an installed ``repro.protocols`` entry
+point, or modules named in the ``REPRO_PROTOCOLS`` environment variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.experiments.campaign import Campaign
+from repro.experiments.runner import ExperimentScale, current_scale
+from repro.protocols.registry import (
+    DeployContext,
+    ProtocolSpec,
+    default_protocols,
+    deploy_protocol,
+    discover_plugins,
+    protocol_names,
+    protocol_specs,
+    register_protocol,
+    resolve_protocol,
+    unregister_protocol,
+)
+from repro.scenario.registry import build_scenario, scenario_names
+from repro.scenario.run import ScenarioReport, protocol_row, scenario_reports
+from repro.scenario.schema import ScenarioSpec
+from repro.scenario.trial import run_scenario_trial
+from repro.util.cache import TrialCache
+
+__all__ = [
+    # protocol surface
+    "ProtocolSpec",
+    "DeployContext",
+    "list_protocols",
+    "get_protocol",
+    "register_protocol",
+    "unregister_protocol",
+    "deploy_protocol",
+    "discover_plugins",
+    "protocol_names",
+    "default_protocols",
+    # scenario surface
+    "list_scenarios",
+    "get_scenario",
+    # execution
+    "run_trial",
+    "run_scenario",
+    "compare",
+    # typed results
+    "TrialResult",
+    "ProtocolResult",
+    "ComparisonResult",
+    "version",
+]
+
+ParamOverrides = Dict[str, Dict[str, object]]
+
+
+def version() -> str:
+    """The installed package version (source-tree fallback: ``__version__``)."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-dsn2004-diffusion")
+    except metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+# -- protocol surface -----------------------------------------------------------------
+
+
+def list_protocols() -> List[ProtocolSpec]:
+    """All registered protocol specs (built-ins + discovered plugins)."""
+    return protocol_specs()
+
+
+def get_protocol(name: Union[str, ProtocolSpec]) -> ProtocolSpec:
+    """Resolve a protocol name or alias; raises with a did-you-mean hint."""
+    return resolve_protocol(name)
+
+
+# -- scenario surface -----------------------------------------------------------------
+
+
+def list_scenarios() -> List[str]:
+    """Names of the built-in scenarios."""
+    return scenario_names()
+
+
+def get_scenario(
+    name: str, scale: Union[str, ExperimentScale, None] = None
+) -> ScenarioSpec:
+    """Build one built-in scenario at the given scale (default: ambient)."""
+    return build_scenario(name, _scale(scale))
+
+
+def _scale(scale: Union[str, ExperimentScale, None]) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return current_scale(scale)
+
+
+# -- typed result records -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One seeded (scenario, protocol, trial) outcome.
+
+    ``reconv_time`` / ``reconverged`` are None for protocols without
+    learned knowledge (the trial runner reports them as ``-1``).
+    """
+
+    scenario: str
+    protocol: str
+    trial: int
+    delivery_ratio: float
+    data_messages: float
+    total_messages: float
+    broadcasts: float
+    failed_plans: float
+    reconv_time: Optional[float]
+    reconverged: Optional[float]
+    metrics: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_metrics(
+        cls, scenario: str, protocol: str, trial: int, metrics: Dict[str, float]
+    ) -> "TrialResult":
+        learned = metrics.get("reconverged", -1.0) >= 0.0
+        return cls(
+            scenario=scenario,
+            protocol=protocol,
+            trial=trial,
+            delivery_ratio=metrics["delivery_ratio"],
+            data_messages=metrics["data_messages"],
+            total_messages=metrics["total_messages"],
+            broadcasts=metrics["broadcasts"],
+            failed_plans=metrics["failed_plans"],
+            reconv_time=metrics["reconv_time"] if learned else None,
+            reconverged=metrics["reconverged"] if learned else None,
+            metrics=dict(metrics),
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """One protocol's aggregated row of a scenario comparison."""
+
+    protocol: str
+    delivery_ratio: float
+    data_messages: float
+    total_messages: float
+    reconv_time: Optional[float]
+    reconverged: Optional[float]
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "delivery_ratio": self.delivery_ratio,
+            "data_messages": self.data_messages,
+            "total_messages": self.total_messages,
+            "reconv_time": self.reconv_time,
+            "reconverged": self.reconverged,
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A protocols-by-metrics scenario comparison (typed + renderable)."""
+
+    scenario: str
+    description: str
+    scale: str
+    trials: int
+    overrides: Dict[str, object] = field(default_factory=dict)
+    rows: Tuple[ProtocolResult, ...] = ()
+
+    def row(self, protocol: str) -> ProtocolResult:
+        """The row of one protocol (name or alias)."""
+        name = resolve_protocol(protocol).name
+        for entry in self.rows:
+            if entry.protocol == name:
+                return entry
+        raise ValidationError(
+            f"protocol {name!r} is not part of this comparison "
+            f"({', '.join(r.protocol for r in self.rows)})"
+        )
+
+    def to_report(self) -> ScenarioReport:
+        return ScenarioReport(
+            scenario=self.scenario,
+            description=self.description,
+            scale=self.scale,
+            trials=self.trials,
+            overrides=dict(self.overrides),
+            rows=[entry.to_row() for entry in self.rows],
+        )
+
+    def render(self, precision: int = 4) -> str:
+        return self.to_report().render(precision)
+
+    def to_json(self) -> Dict[str, object]:
+        return self.to_report().to_json()
+
+    @classmethod
+    def from_report(cls, report: ScenarioReport) -> "ComparisonResult":
+        return cls(
+            scenario=report.scenario,
+            description=report.description,
+            scale=report.scale,
+            trials=report.trials,
+            overrides=dict(report.overrides),
+            rows=tuple(
+                ProtocolResult(
+                    protocol=str(row["protocol"]),
+                    delivery_ratio=float(row["delivery_ratio"]),
+                    data_messages=float(row["data_messages"]),
+                    total_messages=float(row["total_messages"]),
+                    reconv_time=(
+                        None if row["reconv_time"] is None
+                        else float(row["reconv_time"])
+                    ),
+                    reconverged=(
+                        None if row["reconverged"] is None
+                        else float(row["reconverged"])
+                    ),
+                )
+                for row in report.rows
+            ),
+        )
+
+
+# -- execution ------------------------------------------------------------------------
+
+
+def run_trial(
+    scenario: Union[str, ScenarioSpec],
+    protocol: Union[str, ProtocolSpec],
+    trial: int = 0,
+    *,
+    scale: Union[str, ExperimentScale, None] = None,
+    params: Optional[ParamOverrides] = None,
+    loss: Optional[float] = None,
+    crash: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> TrialResult:
+    """Run one seeded trial of one protocol in one scenario.
+
+    Args:
+        scenario: built-in scenario name or a full
+            :class:`~repro.scenario.schema.ScenarioSpec`.
+        protocol: registered protocol name, alias or spec.
+        trial: trial index (the per-repetition seed input).
+        scale: sizing preset name or an
+            :class:`~repro.experiments.runner.ExperimentScale`
+            (name-based scenarios only).
+        params: per-protocol parameter overrides,
+            e.g. ``{"gossip": {"rounds": 4}}``.
+        loss / crash / duration: base-environment overrides.
+    """
+    proto = resolve_protocol(protocol)
+    if isinstance(scenario, ScenarioSpec):
+        spec = scenario
+    else:
+        spec = build_scenario(str(scenario), _scale(scale))
+    spec = spec.with_overrides(loss=loss, crash=crash, duration=duration)
+    metrics = run_scenario_trial(spec, proto.name, int(trial), params=params)
+    return TrialResult.from_metrics(spec.name, proto.name, int(trial), metrics)
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    protocols: Optional[Sequence[Union[str, ProtocolSpec]]] = None,
+    *,
+    scale: Union[str, ExperimentScale, None] = None,
+    trials: Optional[int] = None,
+    workers: int = 1,
+    cache: Union[bool, str, None] = None,
+    params: Optional[ParamOverrides] = None,
+    n: Optional[int] = None,
+    loss: Optional[float] = None,
+    crash: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> ComparisonResult:
+    """Compare protocols on one scenario; returns a typed comparison.
+
+    Args:
+        scenario: built-in scenario name, or a full
+            :class:`~repro.scenario.schema.ScenarioSpec` (runs serially
+            in-process: worker processes rebuild trials by scenario
+            *name*, so custom spec objects cannot fan out).
+        protocols: protocol subset (default: the registry's default
+            comparison set); names, aliases and specs all resolve.
+        scale: sizing preset ("quick" / "default" / "full") or a custom
+            :class:`~repro.experiments.runner.ExperimentScale`.
+        trials: seeded trials per protocol (default: scale-derived).
+        workers: campaign worker processes (name-based scenarios only).
+        cache: False/None = no on-disk cache, True = the default cache
+            directory, a string = that directory.
+        params: per-protocol parameter overrides, keyed by protocol
+            name or alias, e.g. ``{"two-phase": {"rounds": 40}}``.
+        n / loss / crash / duration: scenario overrides (``n`` only for
+            name-based scenarios — the builder re-sizes the topology).
+    """
+    resolved = tuple(
+        resolve_protocol(p).name for p in (protocols or default_protocols())
+    )
+    scale_obj = _scale(scale)
+
+    if isinstance(scenario, ScenarioSpec):
+        if workers > 1:
+            raise ValidationError(
+                "a custom ScenarioSpec runs serially (workers=1): campaign "
+                "workers rebuild trials from the scenario *name*; register "
+                "the scenario or run by name to fan out"
+            )
+        if n is not None:
+            raise ValidationError(
+                "n only applies to name-based scenarios (the builder "
+                "re-sizes the topology); resize the spec's TopologySpec "
+                "instead"
+            )
+        if cache:
+            raise ValidationError(
+                "a custom ScenarioSpec runs without the on-disk cache "
+                "(cache keys are built from name-based campaign specs); "
+                "run by name to cache"
+            )
+        spec = scenario.with_overrides(
+            loss=loss, crash=crash, duration=duration
+        )
+        from repro.scenario.registry import scenario_trials
+
+        count = scenario_trials(scale_obj, trials)
+        if count < 1:
+            raise ValidationError(f"trials must be >= 1, got {count}")
+        rows = []
+        for name in resolved:
+            chunk = [
+                run_scenario_trial(spec, name, trial, params=params)
+                for trial in range(count)
+            ]
+            rows.append(protocol_row(name, chunk))
+        report = ScenarioReport(
+            scenario=spec.name,
+            description=spec.description,
+            scale=scale_obj.name,
+            trials=count,
+            rows=rows,
+        )
+        return ComparisonResult.from_report(report)
+
+    combo: Dict[str, object] = {}
+    if trials is not None:
+        combo["trials"] = trials
+    for key, value in (("n", n), ("loss", loss), ("crash", crash),
+                       ("duration", duration)):
+        if value is not None:
+            combo[key] = value
+    for proto_key, overrides in (params or {}).items():
+        name = resolve_protocol(proto_key).name
+        for param, value in overrides.items():
+            combo[f"{name}.{param}"] = value
+
+    trial_cache: Optional[TrialCache] = None
+    if cache is True:
+        trial_cache = TrialCache()
+    elif isinstance(cache, str):
+        trial_cache = TrialCache(cache)
+    campaign = Campaign(workers=workers, cache=trial_cache)
+    report = scenario_reports(
+        str(scenario),
+        [combo],
+        protocols=resolved,
+        scale=scale_obj,
+        campaign=campaign,
+    )[0]
+    return ComparisonResult.from_report(report)
+
+
+def compare(
+    protocols: Sequence[Union[str, ProtocolSpec]],
+    scenario: Union[str, ScenarioSpec] = "partition-heal",
+    **kwargs: object,
+) -> ComparisonResult:
+    """Protocols-first spelling of :func:`run_scenario`."""
+    return run_scenario(scenario, protocols, **kwargs)

@@ -20,6 +20,12 @@ Usage::
     python -m repro scenario describe partition-heal
     python -m repro scenario run partition-heal --workers 4 --scale quick
     python -m repro scenario run wan-brownout --protocols adaptive,optimal,gossip
+    python -m repro scenario run burst-storm --sweep gossip.rounds=4,8
+
+    # the protocol registry (built-ins + plugins)
+    python -m repro protocols list
+    python -m repro protocols describe two-phase
+    python -m repro --version
 
 Each experiment prints the regenerated data series (the same rows the
 paper plots) and, with ``--out``, writes text/JSON artefacts.  The
@@ -39,6 +45,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ValidationError
 from repro.experiments.campaign import Campaign, SweepValue, parse_sweeps
+from repro.protocols.registry import (
+    DeployContext,
+    GossipProtocolParams,
+    default_protocols,
+    protocol_names,
+    protocol_specs,
+    resolve_protocol,
+)
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.figure4 import figure4_table
 from repro.experiments.figure5 import figure5_table
@@ -52,12 +66,7 @@ from repro.scenario.registry import (
     scenario_names,
     scenario_trials,
 )
-from repro.scenario.run import (
-    DEFAULT_PROTOCOLS,
-    SCENARIO_SWEEP_KEYS,
-    scenario_reports,
-)
-from repro.scenario.trial import PROTOCOL_NAMES
+from repro.scenario.run import SCENARIO_SWEEP_KEYS, scenario_reports
 from repro.util.cache import TrialCache, default_cache_dir
 from repro.util.tables import SeriesTable
 
@@ -211,15 +220,16 @@ def build_campaign_table(
 
 
 def _run_demo() -> int:
-    """A self-contained optimal-vs-gossip comparison (quickstart-sized)."""
+    """A self-contained optimal-vs-gossip comparison (quickstart-sized).
+
+    Deploys both stacks through the protocol registry — the same
+    ``factory(ctx)`` path scenario trials and the public API use.
+    """
     from repro import (
         BroadcastMonitor,
         Configuration,
-        GossipBroadcast,
-        GossipParameters,
         MessageCategory,
         Network,
-        OptimalBroadcast,
         RandomSource,
         Simulator,
         k_regular,
@@ -228,19 +238,17 @@ def _run_demo() -> int:
     graph = k_regular(30, 6)
     config = Configuration.uniform(graph, loss=0.03)
     results = {}
-    for label, factory in (
-        ("optimal", lambda net, mon: [
-            OptimalBroadcast(p, net, mon, 0.99) for p in graph.processes
-        ]),
-        ("gossip", lambda net, mon: [
-            GossipBroadcast(p, net, mon, 0.99, GossipParameters(rounds=4))
-            for p in graph.processes
-        ]),
+    for label, params in (
+        ("optimal", None),
+        ("gossip", GossipProtocolParams(rounds=4)),
     ):
         sim = Simulator()
         network = Network(sim, config, RandomSource("cli-demo", label))
         monitor = BroadcastMonitor(graph.n)
-        nodes = factory(network, monitor)
+        ctx = DeployContext(
+            network=network, monitor=monitor, k_target=0.99, params=params
+        )
+        nodes = resolve_protocol(label).deploy(ctx)
         network.start()
         mid = nodes[0].broadcast("demo")
         sim.run(until=10.0)
@@ -297,6 +305,13 @@ def _add_campaign_options(cmd: argparse.ArgumentParser, sweep_help: str) -> None
     )
 
 
+def _version_string() -> str:
+    """Package version from installed metadata, source-tree fallback."""
+    from repro.api import version
+
+    return version()
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,9 +321,33 @@ def make_parser() -> argparse.ArgumentParser:
             "(DSN 2004)."
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version_string()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("demo", help="30-second optimal-vs-gossip demo")
+
+    prot = sub.add_parser(
+        "protocols",
+        help="registered diffusion protocols (list/describe)",
+        description=(
+            "Inspect the protocol registry: built-in protocol stacks "
+            "plus any plugins discovered through the 'repro.protocols' "
+            "entry-point group or the REPRO_PROTOCOLS environment "
+            "variable."
+        ),
+    )
+    prot_sub = prot.add_subparsers(dest="protocols_command", required=True)
+    prot_sub.add_parser(
+        "list", help="list registered protocols with capability flags"
+    )
+    prot_desc = prot_sub.add_parser(
+        "describe", help="print one protocol's spec (params, flags, aliases)"
+    )
+    prot_desc.add_argument("name", metavar="PROTOCOL")
     for name, description in _EXPERIMENTS.items():
         cmd = sub.add_parser(name, help=description)
         cmd.add_argument(
@@ -367,12 +406,12 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("name", metavar="SCENARIO")
     run.add_argument(
         "--protocols",
-        default=",".join(DEFAULT_PROTOCOLS),
+        default=",".join(default_protocols()),
         metavar="P1,P2,...",
         help=(
-            "comma-separated protocol subset (choices: "
-            + ", ".join(PROTOCOL_NAMES)
-            + ")"
+            "comma-separated protocol subset (registered: "
+            + ", ".join(protocol_names())
+            + "; aliases accepted — see 'repro protocols list')"
         ),
     )
     _add_campaign_options(
@@ -380,7 +419,9 @@ def make_parser() -> argparse.ArgumentParser:
         sweep_help=(
             "override one axis; repeatable; keys: "
             + ", ".join(SCENARIO_SWEEP_KEYS)
-            + " (multiple values print one table per combination)"
+            + " plus per-protocol params as protocol.param "
+            "(e.g. gossip.rounds=4,8 — see 'repro protocols describe'); "
+            "multiple values print one table per combination"
         ),
     )
     return parser
@@ -454,9 +495,64 @@ def _run_list() -> int:
         "(protocol comparisons under stress)"
     )
     print(f"  built-ins: {', '.join(scenario_names())}")
-    print(f"  run --sweep keys: {', '.join(SCENARIO_SWEEP_KEYS)}")
-    print(f"  run --protocols:  {', '.join(PROTOCOL_NAMES)}")
+    print(
+        f"  run --sweep keys: {', '.join(SCENARIO_SWEEP_KEYS)} "
+        "+ protocol.param (e.g. gossip.rounds)"
+    )
+    print(f"  run --protocols:  {', '.join(protocol_names())}")
+    print(
+        "\nprotocols list|describe  registered protocols "
+        "(capability flags, params, plugins)"
+    )
+    _print_protocol_table()
     print("\ndemo  30-second optimal-vs-gossip demo")
+    return 0
+
+
+def _print_protocol_table() -> None:
+    """One line per registered protocol: name, capability flags, summary."""
+    specs = protocol_specs()
+    name_width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        flags = ",".join(spec.capabilities()) or "-"
+        print(f"  {spec.name:<{name_width}}  [{flags}]  {spec.description}")
+
+
+def _run_protocols(args: argparse.Namespace) -> int:
+    """``repro protocols list`` / ``repro protocols describe NAME``."""
+    if args.protocols_command == "list":
+        _print_protocol_table()
+        print(
+            "\n  'repro protocols describe <name>' for params and aliases; "
+            "plugins register via the 'repro.protocols' entry-point group "
+            f"or REPRO_PROTOCOLS"
+        )
+        return 0
+    try:
+        spec = resolve_protocol(args.name)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{spec.name} — {spec.description}")
+    print(f"  aliases:      {', '.join(spec.aliases) or '(none)'}")
+    print(f"  capabilities: {', '.join(spec.capabilities()) or '(none)'}")
+    if spec.default_compare:
+        print("  comparison:   in the default 'scenario run' set")
+    else:
+        print("  comparison:   opt-in via --protocols")
+    rows = spec.param_fields()
+    if not rows:
+        print("  params:       (none)")
+    else:
+        print("  params:       (sweep as "
+              f"{spec.name}.<param>=v1,v2 or override via the API)")
+        width = max(len(name) for name, _, _ in rows)
+        for name, type_name, default in rows:
+            print(f"    {name:<{width}}  {type_name:<7} default {default!r}")
+    factory = spec.factory
+    module = getattr(factory, "__module__", None)
+    if module:
+        print(f"  factory:      {module}.{getattr(factory, '__qualname__', '?')}")
     return 0
 
 
@@ -515,18 +611,27 @@ def _run_scenario(args: argparse.Namespace) -> int:
         if not protocols:
             raise ValidationError(
                 "--protocols needs at least one protocol; choose from "
-                + ", ".join(PROTOCOL_NAMES)
+                + ", ".join(protocol_names())
             )
         campaign, workers, cache = _campaign_setup(args)
         sweeps = parse_sweeps(args.sweep)
         for key in sweeps:
-            if key not in SCENARIO_SWEEP_KEYS:
+            if "." in key:
+                # dotted per-protocol parameter keys ("gossip.rounds")
+                # validate against the registry; values keep their parsed
+                # type (the param dataclass coerces them)
+                from repro.protocols.registry import parse_param_key
+
+                parse_param_key(key)
+            elif key not in SCENARIO_SWEEP_KEYS:
                 raise ValidationError(
                     f"scenario runs do not sweep {key!r}; supported keys: "
                     + ", ".join(SCENARIO_SWEEP_KEYS)
+                    + ", plus protocol.param (e.g. gossip.rounds)"
                 )
         combos = [
-            {k: (_integer_sweep_value(k, v) if k in ("n", "trials")
+            {k: (v if "." in k
+                 else _integer_sweep_value(k, v) if k in ("n", "trials")
                  else float(v))
              for k, v in combo.items()}
             for combo in _scenario_sweep_combos(sweeps)
@@ -561,6 +666,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_list()
     if args.command == "demo":
         return _run_demo()
+    if args.command == "protocols":
+        return _run_protocols(args)
     if args.command == "campaign":
         return _run_campaign(args)
     if args.command == "scenario":

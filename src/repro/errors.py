@@ -62,6 +62,19 @@ class ProtocolError(ReproError):
     """A protocol implementation violated its operating contract."""
 
 
+class UnknownProtocolError(ValidationError):
+    """A protocol name did not resolve against the protocol registry.
+
+    Attributes:
+        suggestion: the closest registered name/alias, or None when the
+            input is not close to anything (used for "did you mean?").
+    """
+
+    def __init__(self, message: str, suggestion: "str | None" = None) -> None:
+        super().__init__(message)
+        self.suggestion = suggestion
+
+
 class CalibrationError(ReproError):
     """The baseline round calibration failed to reach the target reliability."""
 

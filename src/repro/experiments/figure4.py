@@ -14,7 +14,9 @@ algorithms must deliver to all processes with the same probability ``K``.
 * The **reference** side is empirical: gossip rounds are first calibrated
   so the all-reached frequency meets ``K`` (the paper's "determined
   interactively"), then data-message counts are averaged over measurement
-  trials.
+  trials.  Every trial deploys the gossip stack through the protocol
+  registry (:mod:`repro.protocols.registry`) — the registry's
+  ``needs_calibration`` capability flag marks exactly this knob.
 
 Execution is campaign-based (see :mod:`repro.experiments.campaign`):
 :func:`figure4_table` describes every calibration and measurement trial

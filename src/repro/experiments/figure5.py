@@ -21,9 +21,14 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.convergence import ConvergenceCriterion, views_converged
-from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
+from repro.core.adaptive import AdaptiveParameters
 from repro.errors import ConvergenceTimeoutError
 from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.protocols.registry import (
+    AdaptiveProtocolParams,
+    DeployContext,
+    resolve_protocol,
+)
 from repro.experiments.runner import (
     ExperimentScale,
     current_scale,
@@ -40,6 +45,27 @@ from repro.util.tables import Series, SeriesTable
 #: Probability values plotted in the paper for each variant.
 PAPER_CRASH_VALUES = (0.0, 0.01, 0.03, 0.05)
 PAPER_LOSS_VALUES = (0.0, 0.01, 0.03, 0.05)
+
+
+def _registry_params(
+    params: Optional[AdaptiveParameters],
+) -> AdaptiveProtocolParams:
+    """Map the core parameter object onto the registry's flat params.
+
+    Deployment goes through the protocol registry (the same
+    ``factory(ctx)`` path as scenario trials); callers that tune
+    :class:`AdaptiveParameters` directly keep working.
+    """
+    p = params or AdaptiveParameters()
+    kp = p.knowledge
+    return AdaptiveProtocolParams(
+        delta=kp.delta,
+        intervals=kp.intervals,
+        tick=kp.tick,
+        view_impl=p.view_impl,
+        recompute_at_receiver=p.recompute_at_receiver,
+        piggyback_knowledge=p.piggyback_knowledge,
+    )
 
 
 def convergence_messages_per_link(
@@ -65,10 +91,14 @@ def convergence_messages_per_link(
     criterion = criterion or ConvergenceCriterion()
     network = make_network(config, "fig5", seed_tag)
     monitor = BroadcastMonitor(graph.n)
-    nodes = [
-        AdaptiveBroadcast(p, network, monitor, 0.99, params)
-        for p in graph.processes
-    ]
+    nodes = resolve_protocol("adaptive").deploy(
+        DeployContext(
+            network=network,
+            monitor=monitor,
+            k_target=0.99,
+            params=_registry_params(params),
+        )
+    )
     network.start()
     views = [node.view for node in nodes]
     watcher = ConvergenceMonitor(

@@ -18,7 +18,8 @@ Both configurations rebuild deterministically from scalars (the
 heterogeneous one from its own ``("hetero", connectivity, seed)``
 stream), so the calibration and measurement trials are campaign specs
 like the Figure 4 ones and ``repro campaign heterogeneous`` parallelises
-the comparison.
+the comparison.  Protocol stacks deploy through the protocol registry
+(via the shared gossip trial runner), never by direct construction.
 """
 
 from __future__ import annotations

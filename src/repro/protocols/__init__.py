@@ -1,5 +1,11 @@
-"""Baseline diffusion protocols the paper compares against or cites.
+"""Diffusion protocols: the registry plus the baseline implementations.
 
+* :mod:`repro.protocols.registry` — the protocol registry: every
+  comparable protocol stack (the paper's adaptive algorithm, the optimal
+  oracle and the baselines below) is a :class:`ProtocolSpec` with a
+  uniform ``factory(ctx)``, a typed parameter dataclass and capability
+  flags; third-party protocols plug in via ``repro.protocols`` entry
+  points or :func:`register_protocol`.
 * :mod:`repro.protocols.gossip` — the Section 5 reference algorithm:
   step-synchronous forwarding with ACK suppression, run for a round count
   calibrated to the target reliability.
@@ -17,6 +23,23 @@ from repro.protocols.gossip import (
     GossipParameters,
     calibrate_rounds,
 )
+from repro.protocols.registry import (
+    AdaptiveProtocolParams,
+    DeployContext,
+    FloodingProtocolParams,
+    GossipProtocolParams,
+    OptimalProtocolParams,
+    ProtocolSpec,
+    TwoPhaseProtocolParams,
+    default_protocols,
+    deploy_protocol,
+    discover_plugins,
+    protocol_names,
+    protocol_specs,
+    register_protocol,
+    resolve_protocol,
+    unregister_protocol,
+)
 from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
 
 __all__ = [
@@ -26,4 +49,20 @@ __all__ = [
     "FloodingBroadcast",
     "TwoPhaseBroadcast",
     "TwoPhaseParameters",
+    # registry
+    "ProtocolSpec",
+    "DeployContext",
+    "register_protocol",
+    "unregister_protocol",
+    "resolve_protocol",
+    "protocol_names",
+    "protocol_specs",
+    "default_protocols",
+    "deploy_protocol",
+    "discover_plugins",
+    "AdaptiveProtocolParams",
+    "OptimalProtocolParams",
+    "GossipProtocolParams",
+    "FloodingProtocolParams",
+    "TwoPhaseProtocolParams",
 ]

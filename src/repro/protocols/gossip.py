@@ -179,13 +179,27 @@ def run_gossip_trial(
         dict with ``reached`` (1.0 if all processes delivered),
         ``data_messages``, ``ack_messages``, ``delivery_ratio``.
     """
+    # deployment goes through the protocol registry — the same
+    # factory(ctx) path as scenario trials and the public API (imported
+    # lazily: the registry imports this module for the factory)
+    from repro.protocols.registry import (
+        DeployContext,
+        GossipProtocolParams,
+        resolve_protocol,
+    )
+
     network = make_network()
     monitor = BroadcastMonitor(network.graph.n)
-    params = GossipParameters(
-        rounds=rounds, step_period=step_period, fanout=fanout
+    resolve_protocol("gossip").deploy(
+        DeployContext(
+            network=network,
+            monitor=monitor,
+            k_target=k_target,
+            params=GossipProtocolParams(
+                rounds=rounds, step_period=step_period, fanout=fanout
+            ),
+        )
     )
-    for p in network.graph.processes:
-        GossipBroadcast(p, network, monitor, k_target, params)
     network.start()
     mid_box: Dict[str, MessageId] = {}
 

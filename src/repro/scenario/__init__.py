@@ -13,7 +13,8 @@ first-class object:
   (``partition-heal``, ``wan-brownout``, ...) sized by the experiment
   scale presets;
 * :mod:`repro.scenario.trial` — the spawn-safe seeded trial runner that
-  deploys any of the five protocols into a scenario;
+  deploys any registered protocol (see
+  :mod:`repro.protocols.registry`) into a scenario;
 * :mod:`repro.scenario.run` — campaign compilation: scenario trials
   become :class:`~repro.experiments.campaign.TrialSpec`\\ s (parallel,
   cached, bit-identical to serial) aggregated into protocol-comparison
@@ -51,7 +52,7 @@ from repro.scenario.schema import (
     WorkloadSpec,
     event_from_json,
 )
-from repro.scenario.trial import PROTOCOL_NAMES, run_scenario_trial
+from repro.scenario.trial import run_scenario_trial
 
 __all__ = [
     "ScenarioSpec",
@@ -72,7 +73,6 @@ __all__ = [
     "scenario_names",
     "scenario_trials",
     "run_scenario_trial",
-    "PROTOCOL_NAMES",
     "ScenarioReport",
     "scenario_report",
     "scenario_reports",

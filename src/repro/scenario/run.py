@@ -14,26 +14,34 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.experiments.campaign import Campaign, TrialSpec, chunked
 from repro.experiments.runner import ExperimentScale, current_scale, scaled
+from repro.protocols.registry import (
+    default_protocols,
+    parse_param_key,
+    resolve_protocol,
+)
 from repro.scenario.registry import (
     MAX_SCENARIO_N,
     build_scenario,
     scenario_trials,
 )
 from repro.scenario.schema import ScenarioSpec
-from repro.scenario.trial import PROTOCOL_NAMES, TRIAL_FN
+from repro.scenario.trial import TRIAL_FN
 from repro.util.tables import render_table
 
-#: Keys ``repro scenario run --sweep`` accepts.
+#: Scalar keys ``repro scenario run --sweep`` accepts; dotted
+#: ``protocol.param`` keys (``gossip.rounds=4,8``) sweep per-protocol
+#: parameters on top — see :func:`repro.protocols.registry.parse_param_key`.
 SCENARIO_SWEEP_KEYS = ("n", "trials", "loss", "crash", "duration")
 
-#: Default protocol comparison set (all five compare; the heavyweight
-#: two-phase baseline is opt-in via --protocols).
-DEFAULT_PROTOCOLS = ("adaptive", "optimal", "gossip", "flooding")
+
+def _fmt(value: object) -> str:
+    """Render an override value (dotted param sweeps may carry strings)."""
+    return f"{value:g}" if isinstance(value, (int, float)) else str(value)
 
 
 @dataclass
@@ -69,7 +77,7 @@ class ScenarioReport:
                 ]
             )
         suffix = "".join(
-            f" {k}={v:g}" for k, v in sorted(self.overrides.items())
+            f" {k}={_fmt(v)}" for k, v in sorted(self.overrides.items())
         )
         title = (
             f"scenario {self.scenario} ({self.scale} scale, "
@@ -98,7 +106,7 @@ class ScenarioReport:
                f"_trials{self.trials}"
         if self.overrides:
             stem += "_" + "_".join(
-                f"{k}{v:g}" for k, v in sorted(self.overrides.items())
+                f"{k}{_fmt(v)}" for k, v in sorted(self.overrides.items())
             )
         with open(os.path.join(directory, f"{stem}.txt"), "w") as fh:
             fh.write(self.render() + "\n")
@@ -114,11 +122,26 @@ def compile_specs(
     scale_name: str,
     trials: int,
     overrides: Optional[Dict[str, float]] = None,
+    params: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> List[TrialSpec]:
-    """The ``protocols x trials`` grid as seed-complete campaign specs."""
+    """The ``protocols x trials`` grid as seed-complete campaign specs.
+
+    ``params`` (per-protocol parameter overrides, keyed by canonical
+    protocol name) rides along as a canonical JSON string — campaign
+    spec values must be hashable scalars.  Each protocol's specs carry
+    *only its own* overrides, and nothing when it has none: a
+    ``gossip.rounds`` sweep must not perturb the flooding rows' cache
+    keys (or their dedup against a no-sweep run).
+    """
     overrides = overrides or {}
+    params = params or {}
     specs: List[TrialSpec] = []
     for protocol in protocols:
+        extra: Dict[str, object] = dict(overrides)
+        if params.get(protocol):
+            extra["params"] = json.dumps(
+                {protocol: params[protocol]}, sort_keys=True
+            )
         for trial in range(trials):
             specs.append(
                 TrialSpec.make(
@@ -127,10 +150,38 @@ def compile_specs(
                     protocol=protocol,
                     scale=scale_name,
                     trial=trial,
-                    **overrides,
+                    **extra,
                 )
             )
     return specs
+
+
+def split_param_overrides(
+    combo: Dict[str, object], protocols: Sequence[str]
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, object]]]:
+    """Split one sweep combo into scalar overrides and dotted param keys.
+
+    Dotted keys (``gossip.rounds``) resolve through the protocol
+    registry: the protocol half may be an alias, the parameter half must
+    exist on the protocol's params dataclass, and the protocol must be
+    part of the run — a sweep that silently targeted an absent protocol
+    would mislabel the table.
+    """
+    overrides: Dict[str, float] = {}
+    params: Dict[str, Dict[str, object]] = {}
+    for key, value in combo.items():
+        if "." not in str(key):
+            overrides[key] = value
+            continue
+        spec, param = parse_param_key(str(key))
+        if spec.name not in protocols:
+            raise ValidationError(
+                f"sweep key {key!r} targets protocol {spec.name!r}, which "
+                f"is not in this run ({', '.join(protocols)}); add it to "
+                "--protocols"
+            )
+        params.setdefault(spec.name, {})[param] = value
+    return overrides, params
 
 
 def _validated_spec(
@@ -158,9 +209,14 @@ def _validated_spec(
     return spec
 
 
-def _protocol_row(
+def protocol_row(
     protocol: str, chunk: Sequence[Dict[str, float]]
 ) -> Dict[str, object]:
+    """Aggregate one protocol's trial metrics into a comparison row.
+
+    Shared by the campaign path below and ``repro.api``'s serial
+    custom-spec path, so both aggregate identically.
+    """
     row: Dict[str, object] = {"protocol": protocol}
     for metric in ("delivery_ratio", "data_messages", "total_messages"):
         row[metric] = Campaign.aggregate(chunk, metric).mean
@@ -185,24 +241,27 @@ def scenario_reports(
     Every combination's ``protocols x trials`` specs go through a single
     :meth:`Campaign.run`, so worker pools spin up once and stragglers of
     one combination overlap with the next instead of forming barriers.
-    Each ``combo`` may carry ``n``, ``loss``, ``crash``, ``duration``
-    and ``trials``; results are sliced back per combination, so the
+    Each ``combo`` may carry ``n``, ``loss``, ``crash``, ``duration``,
+    ``trials`` and dotted per-protocol parameter keys
+    (``gossip.rounds``); results are sliced back per combination, so the
     tables are identical to running the combinations separately.
     """
     scale = scale or current_scale()
     campaign = campaign or Campaign()
-    protocols = tuple(protocols or DEFAULT_PROTOCOLS)
-    for protocol in protocols:
-        if protocol not in PROTOCOL_NAMES:
-            raise ValidationError(
-                f"unknown protocol {protocol!r}; choose from "
-                + ", ".join(PROTOCOL_NAMES)
-            )
+    # registry resolution canonicalises aliases ("twophase" -> "two-phase")
+    # and raises a did-you-mean UnknownProtocolError for typos — the same
+    # error path the CLI uses
+    protocols = tuple(
+        resolve_protocol(protocol).name
+        for protocol in (protocols or default_protocols())
+    )
 
     prepared = []
     all_specs: List[TrialSpec] = []
     for combo in combos:
-        overrides = dict(combo)
+        overrides, param_overrides = split_param_overrides(
+            dict(combo), protocols
+        )
         trials_override = overrides.pop("trials", None)
         trials = scenario_trials(
             scale, int(trials_override) if trials_override is not None else None
@@ -210,15 +269,30 @@ def scenario_reports(
         if trials < 1:
             raise ValidationError(f"trials must be >= 1, got {trials}")
         spec = _validated_spec(scenario, scale, overrides)
+        for name, param_over in param_overrides.items():
+            # validate eagerly (field names, types, dataclass invariants)
+            # so a bad sweep fails before any fan-out
+            resolve_protocol(name).make_params(
+                scenario=spec, overrides=param_over
+            )
         # the workers rebuild the scale from its preset name, so the
         # system size must ride along explicitly — otherwise a custom
         # scaled(...) scale would silently fall back to the preset's n
         spec_overrides = dict(overrides)
         spec_overrides["n"] = spec.topology.n
         specs = compile_specs(
-            scenario, protocols, scale.name, trials, spec_overrides
+            scenario,
+            protocols,
+            scale.name,
+            trials,
+            spec_overrides,
+            params=param_overrides,
         )
-        prepared.append((spec, trials, overrides, len(specs)))
+        display = dict(overrides)
+        for name, param_over in param_overrides.items():
+            for param, value in param_over.items():
+                display[f"{name}.{param}"] = value
+        prepared.append((spec, trials, display, len(specs)))
         all_specs.extend(specs)
 
     results = campaign.run(all_specs)
@@ -236,7 +310,7 @@ def scenario_reports(
             overrides=overrides,
         )
         for protocol, chunk in zip(protocols, chunked(slice_, trials)):
-            report.rows.append(_protocol_row(protocol, chunk))
+            report.rows.append(protocol_row(protocol, chunk))
         reports.append(report)
     return reports
 
@@ -253,8 +327,9 @@ def scenario_report(
 
     Args:
         scenario: built-in scenario name.
-        protocols: protocol subset (default: adaptive/optimal/gossip/
-            flooding); each must be one of :data:`PROTOCOL_NAMES`.
+        protocols: protocol subset (default: the registry's
+            ``default_compare`` set — adaptive/optimal/gossip/flooding);
+            names and aliases resolve through the protocol registry.
         scale: sizing preset (default: ambient scale).
         trials: seeded trials per protocol (default: scale-derived).
         campaign: execution engine (default: serial, cache-less).

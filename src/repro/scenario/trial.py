@@ -1,12 +1,23 @@
 """Seeded execution of one (scenario, protocol) trial.
 
 :func:`run_scenario_trial` deploys one protocol stack into a scenario's
-network, installs the :class:`~repro.sim.dynamics.DynamicsDriver`, drives
-the declared workload and reports flat float metrics.  The module-level
+network through the protocol registry
+(:mod:`repro.protocols.registry`), installs the
+:class:`~repro.sim.dynamics.DynamicsDriver`, drives the declared
+workload and reports flat float metrics.  The module-level
 :func:`scenario_trial_task` is the spawn-safe campaign entry point: it
 rebuilds everything from JSON-able scalars, so scenario trials are pure
 functions of ``(scenario, protocol, scale, trial, overrides)`` and run
 bit-identically in any process.
+
+Protocol handling is registry-driven: any registered
+:class:`~repro.protocols.registry.ProtocolSpec` — built-in or plugin —
+deploys through its ``factory(ctx)``, scenario-specific parameter
+defaults come from the spec's ``scenario_defaults`` hook (overridable
+per trial via ``params``), and the capability flags decide the
+protocol-shaped instrumentation: ``learns`` arms the re-convergence
+watcher, ``plans`` lets a broadcast fail cleanly when the target ``K``
+is unattainable.
 
 Metrics:
 
@@ -15,29 +26,32 @@ Metrics:
   stress is exactly what the comparison is about);
 * ``data_messages`` / ``total_messages`` — cost, all broadcasts plus all
   protocol overhead (heartbeats, ACKs, digests);
-* ``failed_plans`` — broadcasts a planning protocol refused outright
-  because the target ``K`` was unattainable under its current knowledge
-  (e.g. the oracle mid-partition); they score a delivery ratio of 0;
-* ``reconv_time`` / ``reconverged`` — adaptive protocol only: time from
-  the final timeline event until every process's ``(Lambda_k, C_k)``
-  point-tracks the (restored) true ``(G, C)`` within the scenario's
-  tolerance, capped at the remaining run time when convergence is not
-  reached.  ``-1`` for protocols that hold no learned knowledge.
+* ``failed_plans`` — broadcasts a planning protocol (``plans`` flag)
+  refused outright because the target ``K`` was unattainable under its
+  current knowledge (e.g. the oracle mid-partition); they score a
+  delivery ratio of 0;
+* ``reconv_time`` / ``reconverged`` — learning protocols (``learns``
+  flag) only: time from the final timeline event until every process's
+  ``(Lambda_k, C_k)`` point-tracks the (restored) true ``(G, C)`` within
+  the scenario's tolerance, capped at the remaining run time when
+  convergence is not reached.  ``-1`` for protocols that hold no learned
+  knowledge.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import json
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.convergence import ConvergenceCriterion, views_converged
-from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
-from repro.core.knowledge import KnowledgeParameters
-from repro.core.optimal import OptimalBroadcast
 from repro.errors import UnreachableTargetError, ValidationError
 from repro.experiments.runner import current_scale, scaled
-from repro.protocols.flooding import FloodingBroadcast
-from repro.protocols.gossip import GossipBroadcast, GossipParameters
-from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
+from repro.protocols.registry import (
+    SCENARIO_KNOWLEDGE,
+    DeployContext,
+    ProtocolSpec,
+    resolve_protocol,
+)
 from repro.scenario.registry import build_scenario
 from repro.scenario.schema import ScenarioSpec
 from repro.sim.dynamics import DynamicsDriver
@@ -47,64 +61,36 @@ from repro.sim.network import Network, NetworkOptions
 from repro.sim.trace import MessageCategory
 from repro.util.rng import RandomSource
 
-#: Knowledge-activity sizing for scenario runs: delta/tick of 1.0 as in
-#: the paper's convergence experiments, a coarser interval count (50) to
-#: keep heartbeat snapshots cheap at scenario durations.
-SCENARIO_KNOWLEDGE = KnowledgeParameters(delta=1.0, intervals=50, tick=1.0)
+__all__ = [
+    "SCENARIO_KNOWLEDGE",
+    "RECONV_POLL",
+    "run_scenario_trial",
+    "scenario_trial_task",
+    "TRIAL_FN",
+]
 
 #: Poll period of the re-convergence watcher (omniscient, message-free).
 RECONV_POLL = 5.0
 
-#: The five comparable protocol stacks.
-PROTOCOL_NAMES = ("adaptive", "optimal", "gossip", "flooding", "two-phase")
-
 
 def _deploy(
-    protocol: str,
+    proto: ProtocolSpec,
     spec: ScenarioSpec,
     network: Network,
     monitor: BroadcastMonitor,
     rng: RandomSource,
+    param_overrides: Optional[Dict[str, object]] = None,
 ) -> List[object]:
-    graph = network.graph
-    if protocol == "adaptive":
-        params = AdaptiveParameters(knowledge=SCENARIO_KNOWLEDGE)
-        return [
-            AdaptiveBroadcast(p, network, monitor, spec.k_target, params)
-            for p in graph.processes
-        ]
-    if protocol == "optimal":
-        return [
-            OptimalBroadcast(p, network, monitor, spec.k_target)
-            for p in graph.processes
-        ]
-    if protocol == "gossip":
-        params = GossipParameters(rounds=spec.gossip_rounds)
-        return [
-            GossipBroadcast(p, network, monitor, spec.k_target, params)
-            for p in graph.processes
-        ]
-    if protocol == "flooding":
-        return [
-            FloodingBroadcast(p, network, monitor, spec.k_target)
-            for p in graph.processes
-        ]
-    if protocol == "two-phase":
-        params = TwoPhaseParameters(
-            gossip_period=2.0,
-            rounds=max(1, int(spec.duration / 2.0)),
-        )
-        return [
-            TwoPhaseBroadcast(
-                p, network, monitor, spec.k_target, params,
-                rng=rng.child("twophase", p),
-            )
-            for p in graph.processes
-        ]
-    raise ValidationError(
-        f"unknown protocol {protocol!r}; choose from "
-        + ", ".join(PROTOCOL_NAMES)
+    """Deploy one registered protocol stack into a scenario network."""
+    params = proto.make_params(scenario=spec, overrides=param_overrides)
+    ctx = DeployContext(
+        network=network,
+        monitor=monitor,
+        k_target=spec.k_target,
+        rng=rng,
+        params=params,
     )
+    return proto.deploy(ctx)
 
 
 def _workload_origins(
@@ -125,21 +111,46 @@ def _workload_origins(
     return [(trial + i) % n for i in range(count)]
 
 
+def _canonical_params(
+    params: Optional[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Key per-protocol overrides by canonical protocol name."""
+    canonical: Dict[str, Dict[str, object]] = {}
+    for key, overrides in (params or {}).items():
+        name = resolve_protocol(key).name
+        canonical.setdefault(name, {}).update(overrides)
+    return canonical
+
+
 def run_scenario_trial(
-    spec: ScenarioSpec, protocol: str, trial: int
+    spec: ScenarioSpec,
+    protocol: str,
+    trial: int,
+    params: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> Dict[str, float]:
-    """Run one seeded trial; returns the flat metric dict."""
+    """Run one seeded trial; returns the flat metric dict.
+
+    Args:
+        spec: the scenario to run.
+        protocol: registered protocol name or alias (aliases are exact
+            synonyms: seeds derive from the canonical name).
+        trial: trial index (the only per-repetition seed input).
+        params: optional per-protocol parameter overrides, keyed by
+            protocol name, e.g. ``{"gossip": {"rounds": 4}}``.
+    """
+    proto = resolve_protocol(protocol)
+    param_overrides = _canonical_params(params).get(proto.name)
     graph, tiers = spec.topology.build_with_tiers()
     config = spec.environment.base_configuration(graph, tiers)
     sim = Simulator()
-    root = RandomSource("repro-scenario", spec.name, protocol, trial)
+    root = RandomSource("repro-scenario", spec.name, proto.name, trial)
     options = NetworkOptions(
         crash_model=spec.environment.crash_model,
         markov_mean_down_ticks=spec.environment.mean_down_ticks,
     )
     network = Network(sim, config, root.child("net"), options=options)
     monitor = BroadcastMonitor(graph.n)
-    nodes = _deploy(protocol, spec, network, monitor, root)
+    nodes = _deploy(proto, spec, network, monitor, root, param_overrides)
 
     driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
     driver.install()
@@ -158,6 +169,8 @@ def run_scenario_trial(
             # a planning protocol may (correctly) find the target K
             # unattainable mid-disruption — e.g. the oracle during a
             # partition; the broadcast fails outright and scores 0
+            if not proto.plans:
+                raise
             failed_plans[0] += 1
             mids.append(("failed-plan", origin, sim.now))
 
@@ -167,7 +180,7 @@ def run_scenario_trial(
         sim.schedule_at(when, lambda o=origin: issue(o), name="workload")
 
     watcher_box: Dict[str, ConvergenceMonitor] = {}
-    if protocol == "adaptive" and spec.timeline:
+    if proto.learns and spec.timeline:
         criterion = ConvergenceCriterion(
             mode="point",
             point_tolerance=spec.reconv_tolerance,
@@ -213,6 +226,21 @@ def run_scenario_trial(
     return result
 
 
+def decode_params(payload: Optional[str]) -> Optional[Dict[str, Dict[str, object]]]:
+    """Decode the JSON per-protocol params payload of a campaign spec."""
+    if payload is None:
+        return None
+    decoded = json.loads(payload)
+    if not isinstance(decoded, dict) or not all(
+        isinstance(v, dict) for v in decoded.values()
+    ):
+        raise ValidationError(
+            "params must encode {protocol: {param: value}} mappings, "
+            f"got {payload!r}"
+        )
+    return decoded
+
+
 def scenario_trial_task(
     *,
     scenario: str,
@@ -223,14 +251,22 @@ def scenario_trial_task(
     loss: Optional[float] = None,
     crash: Optional[float] = None,
     duration: Optional[float] = None,
+    params: Optional[str] = None,
 ) -> Dict[str, float]:
-    """Campaign task: rebuild the scenario from scalars and run one trial."""
+    """Campaign task: rebuild the scenario from scalars and run one trial.
+
+    ``params`` is a JSON object of per-protocol parameter overrides
+    (``{"gossip": {"rounds": 4}}``), kept as a string because campaign
+    spec parameters are hashable JSON-able scalars.
+    """
     scale_obj = current_scale(str(scale))
     if n is not None:
         scale_obj = scaled(scale_obj, n=int(n))
     spec = build_scenario(str(scenario), scale_obj)
     spec = spec.with_overrides(loss=loss, crash=crash, duration=duration)
-    return run_scenario_trial(spec, str(protocol), int(trial))
+    return run_scenario_trial(
+        spec, str(protocol), int(trial), params=decode_params(params)
+    )
 
 
 TRIAL_FN = "repro.scenario.trial:scenario_trial_task"

@@ -210,3 +210,108 @@ class TestCampaignCommand:
         assert "cache=off" in capsys.readouterr().out
 
 
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestProtocolsCommand:
+    def test_list_shows_builtins_with_flags(self, capsys):
+        assert main(["protocols", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adaptive", "optimal", "gossip", "flooding", "two-phase"):
+            assert name in out
+        assert "plans,learns" in out
+        assert "needs_rng" in out
+
+    def test_describe_shows_params_and_aliases(self, capsys):
+        assert main(["protocols", "describe", "gossip"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+        assert "reference" in out  # the alias
+        assert "needs_calibration" in out
+
+    def test_describe_resolves_aliases(self, capsys):
+        assert main(["protocols", "describe", "twophase"]) == 0
+        assert "two-phase" in capsys.readouterr().out
+
+    def test_describe_unknown_suggests(self, capsys):
+        assert main(["protocols", "describe", "gosip"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown protocol" in err
+        assert "did you mean 'gossip'" in err
+
+    def test_top_level_list_mentions_protocols(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "protocols list|describe" in out
+        assert "two-phase" in out
+
+
+class TestScenarioProtocolSweeps:
+    def test_run_accepts_alias_and_param_sweep(self, tmp_path, capsys):
+        rc = main(
+            [
+                "scenario", "run", "partition-heal",
+                "--scale", "quick",
+                "--no-cache",
+                "--protocols", "flood",
+                "--sweep", "trials=1",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flooding" in out  # canonical name in the table
+
+    def test_run_gossip_param_sweep(self, capsys):
+        rc = main(
+            [
+                "scenario", "run", "partition-heal",
+                "--scale", "quick",
+                "--no-cache",
+                "--protocols", "gossip",
+                "--sweep", "gossip.rounds=1",
+                "--sweep", "trials=1",
+            ]
+        )
+        assert rc == 0
+        assert "gossip.rounds=1" in capsys.readouterr().out
+
+    def test_unknown_param_key_errors(self, capsys):
+        rc = main(
+            [
+                "scenario", "run", "partition-heal", "--no-cache",
+                "--sweep", "gossip.bogus=1",
+            ]
+        )
+        assert rc == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_param_sweep_for_absent_protocol_errors(self, capsys):
+        rc = main(
+            [
+                "scenario", "run", "partition-heal", "--no-cache",
+                "--protocols", "flooding",
+                "--sweep", "gossip.rounds=2",
+            ]
+        )
+        assert rc == 2
+        assert "not in this run" in capsys.readouterr().err
+
+    def test_unknown_protocol_suggests(self, capsys):
+        rc = main(
+            [
+                "scenario", "run", "partition-heal", "--no-cache",
+                "--protocols", "gosip",
+            ]
+        )
+        assert rc == 2
+        assert "did you mean 'gossip'" in capsys.readouterr().err

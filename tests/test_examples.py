@@ -46,3 +46,9 @@ class TestExamples:
         out = run_example("convergence_monitor.py")
         assert "knowledge convergence" in out
         assert "messages per link so far" in out
+
+    def test_custom_protocol(self):
+        out = run_example("custom_protocol.py")
+        assert "ttl-flood" in out
+        assert "registered protocols" in out
+        assert "unbounded" in out
