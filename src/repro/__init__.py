@@ -111,12 +111,24 @@ __version__ = "1.0.0"
 from repro import api
 from repro.api import (
     ComparisonResult,
+    ExperimentContext,
+    ExperimentSpec,
     ProtocolResult,
+    Provenance,
+    ResultDiff,
+    ResultSet,
+    ResultStore,
     TrialResult,
     compare,
+    diff_results,
+    get_experiment,
     get_protocol,
+    list_experiments,
     list_protocols,
     list_scenarios,
+    load_results,
+    register_experiment,
+    run_experiment,
     run_scenario,
     run_trial,
 )
@@ -189,6 +201,19 @@ __all__ = [
     "TrialResult",
     "ProtocolResult",
     "ComparisonResult",
+    # experiment registry + results store
+    "ExperimentSpec",
+    "ExperimentContext",
+    "register_experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "ResultSet",
+    "ResultDiff",
+    "ResultStore",
+    "Provenance",
+    "load_results",
+    "diff_results",
     # simulation
     "Simulator",
     "Network",

@@ -1,8 +1,9 @@
 """Public programmatic facade of :mod:`repro`.
 
 One stable surface for programmatic users — protocol discovery and
-registration, seeded trials, scenario comparisons — so scripts never
-need to reach into ``repro.core`` / ``repro.sim`` internals:
+registration, seeded trials, scenario comparisons, the experiment
+registry and the durable results store — so scripts never need to reach
+into ``repro.core`` / ``repro.sim`` internals:
 
     import repro.api as api
 
@@ -12,13 +13,21 @@ need to reach into ``repro.core`` / ``repro.sim`` internals:
     api.compare(["adaptive", "gossip"],       # ComparisonResult
                 scenario="partition-heal", scale="quick")
 
+    api.list_experiments()                    # registered ExperimentSpecs
+    rs = api.run_experiment("figure4a", scale="quick", workers=4)
+    rs = api.run_experiment("figure4a", scale="quick", store=True)
+    api.load_results(experiment="figure4a")   # stored ResultSets
+    api.diff_results(a, b, tolerance=0.0)     # run-to-run regression check
+
 Everything returns typed result records (:class:`TrialResult`,
-:class:`ProtocolResult`, :class:`ComparisonResult`) rather than loose
-dicts.  Protocols registered at runtime with :func:`register_protocol`
-work everywhere in-process; campaign fan-out (``workers > 1``) rebuilds
-trials in spawned workers, so parallel runs additionally need the
-protocol importable there — an installed ``repro.protocols`` entry
-point, or modules named in the ``REPRO_PROTOCOLS`` environment variable.
+:class:`ProtocolResult`, :class:`ComparisonResult`,
+:class:`~repro.results.ResultSet`) rather than loose dicts.  Protocols
+and experiments registered at runtime work everywhere in-process;
+campaign fan-out (``workers > 1``) rebuilds trials in spawned workers,
+so parallel runs additionally need the plugin importable there — an
+installed ``repro.protocols`` / ``repro.experiments`` entry point, or
+modules named in the ``REPRO_PROTOCOLS`` / ``REPRO_EXPERIMENTS``
+environment variables.
 """
 
 from __future__ import annotations
@@ -28,6 +37,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ValidationError
 from repro.experiments.campaign import Campaign
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    experiment_names,
+    experiment_specs,
+    register_experiment,
+    resolve_experiment,
+    unregister_experiment,
+)
+from repro.experiments.registry import (
+    discover_plugins as discover_experiment_plugins,
+)
 from repro.experiments.runner import ExperimentScale, current_scale
 from repro.protocols.registry import (
     DeployContext,
@@ -41,6 +62,13 @@ from repro.protocols.registry import (
     resolve_protocol,
     unregister_protocol,
 )
+from repro.results.schema import (
+    Provenance,
+    ResultDiff,
+    ResultSet,
+    diff_result_sets,
+)
+from repro.results.store import ResultStore, resolve_result
 from repro.scenario.registry import build_scenario, scenario_names
 from repro.scenario.run import ScenarioReport, protocol_row, scenario_reports
 from repro.scenario.schema import ScenarioSpec
@@ -62,6 +90,23 @@ __all__ = [
     # scenario surface
     "list_scenarios",
     "get_scenario",
+    # experiment surface
+    "ExperimentSpec",
+    "ExperimentContext",
+    "list_experiments",
+    "get_experiment",
+    "register_experiment",
+    "unregister_experiment",
+    "experiment_names",
+    "discover_experiment_plugins",
+    "run_experiment",
+    # results surface
+    "ResultSet",
+    "ResultDiff",
+    "ResultStore",
+    "Provenance",
+    "load_results",
+    "diff_results",
     # execution
     "run_trial",
     "run_scenario",
@@ -120,6 +165,15 @@ def _scale(scale: Union[str, ExperimentScale, None]) -> ExperimentScale:
     if isinstance(scale, ExperimentScale):
         return scale
     return current_scale(scale)
+
+
+def _trial_cache(cache: Union[bool, str, None]) -> Optional[TrialCache]:
+    """None/False = no cache, True = default directory, str = that one."""
+    if cache is True:
+        return TrialCache()
+    if isinstance(cache, str):
+        return TrialCache(cache)
+    return None
 
 
 # -- typed result records -------------------------------------------------------------
@@ -385,12 +439,7 @@ def run_scenario(
         for param, value in overrides.items():
             combo[f"{name}.{param}"] = value
 
-    trial_cache: Optional[TrialCache] = None
-    if cache is True:
-        trial_cache = TrialCache()
-    elif isinstance(cache, str):
-        trial_cache = TrialCache(cache)
-    campaign = Campaign(workers=workers, cache=trial_cache)
+    campaign = Campaign(workers=workers, cache=_trial_cache(cache))
     report = scenario_reports(
         str(scenario),
         [combo],
@@ -408,3 +457,145 @@ def compare(
 ) -> ComparisonResult:
     """Protocols-first spelling of :func:`run_scenario`."""
     return run_scenario(scenario, protocols, **kwargs)
+
+
+# -- experiment surface ---------------------------------------------------------------
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiment specs (built-ins + discovered plugins)."""
+    return experiment_specs()
+
+
+def get_experiment(name: Union[str, ExperimentSpec]) -> ExperimentSpec:
+    """Resolve an experiment name or alias; raises with a did-you-mean hint."""
+    return resolve_experiment(name)
+
+
+def run_experiment(
+    experiment: Union[str, ExperimentSpec],
+    *,
+    scale: Union[str, ExperimentScale, None] = None,
+    params: Optional[Dict[str, object]] = None,
+    workers: int = 1,
+    cache: Union[bool, str, None] = None,
+    store: Union[bool, str, ResultStore, None] = None,
+) -> ResultSet:
+    """Run one registered experiment; returns its typed result set.
+
+    Args:
+        experiment: registered experiment name, alias or spec.
+        scale: sizing preset name ("quick" / "default" / "full") or an
+            :class:`~repro.experiments.runner.ExperimentScale`.
+        params: axis overrides, e.g. ``{"connectivity": (2, 4),
+            "trials": 4}`` — see ``get_experiment(name).sweep_keys()``.
+        workers: campaign worker processes (1 = serial in-process; the
+            result is bit-identical either way).
+        cache: False/None = no on-disk trial cache, True = the default
+            cache directory, a string = that directory.
+        store: where to append the result — None/False = do not persist,
+            True = the default results store, a string = that JSONL
+            path, or a :class:`~repro.results.ResultStore`.  When
+            stored, the returned result carries its ``run_id``.
+
+    The returned :class:`~repro.results.ResultSet` renders the exact
+    table the legacy per-figure commands print, carries full provenance
+    (scale, params, seed policy, package version, git state, schema
+    version), and diffs against other runs via :func:`diff_results`.
+    """
+    spec = resolve_experiment(experiment)
+    # validate params before any filesystem side effects, then probe the
+    # store before running: an unwritable store path must fail here, not
+    # after the trials already burned
+    params_obj = spec.make_params(params)
+    result_store = _store(store)
+    if result_store is not None:
+        result_store.check_writable()
+    campaign = Campaign(workers=workers, cache=_trial_cache(cache))
+    try:
+        result = spec.run(
+            scale=_scale(scale), params=params_obj, campaign=campaign
+        )
+    except Exception:
+        if result_store is not None:
+            result_store.discard_probe_residue()
+        raise
+    if result_store is not None:
+        result = result_store.append(result)
+    return result
+
+
+# -- results surface ------------------------------------------------------------------
+
+
+def _store(
+    store: Union[bool, str, ResultStore, None],
+) -> Optional[ResultStore]:
+    if store is None or store is False:
+        return None
+    if store is True:
+        return ResultStore()
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(str(store))
+
+
+def load_results(
+    *,
+    store: Union[bool, str, ResultStore, None] = True,
+    experiment: Optional[str] = None,
+    scale: Optional[str] = None,
+    run_id: Optional[str] = None,
+    since: Optional[str] = None,
+    until: Optional[str] = None,
+    last: Optional[int] = None,
+) -> List[ResultSet]:
+    """Query stored experiment runs (see :meth:`ResultStore.query`).
+
+    ``experiment`` accepts registry aliases; an unresolvable name is
+    used verbatim (stored runs may come from plugins not currently
+    installed).
+    """
+    result_store = _store(store)
+    if result_store is None:
+        raise ValidationError("load_results needs a store (path or True)")
+    if experiment is not None:
+        try:
+            experiment = resolve_experiment(experiment).name
+        except ValidationError:
+            pass
+    return result_store.query(
+        experiment=experiment,
+        scale=scale,
+        run_id=run_id,
+        since=since,
+        until=until,
+        last=last,
+    )
+
+
+def diff_results(
+    a: Union[ResultSet, str],
+    b: Union[ResultSet, str],
+    tolerance: float = 0.0,
+    *,
+    store: Union[bool, str, ResultStore, None] = True,
+) -> ResultDiff:
+    """Compare two runs cell-by-cell; the run-to-run regression check.
+
+    Args:
+        a / b: :class:`~repro.results.ResultSet` objects, or run ids
+            looked up in ``store``.
+        tolerance: maximum allowed absolute per-cell drift (0.0 demands
+            bit-identical numbers — the determinism gate).
+
+    Returns:
+        A :class:`~repro.results.ResultDiff`; ``diff.clean`` is True
+        when the runs agree within tolerance.
+    """
+    result_store = _store(store)
+    return diff_result_sets(
+        resolve_result(a, result_store),
+        resolve_result(b, result_store),
+        tolerance=tolerance,
+    )

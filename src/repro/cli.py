@@ -10,6 +10,15 @@ Usage::
     python -m repro figure6 --scale full
     python -m repro demo                     # 30-second end-to-end demo
 
+    # the experiment registry + durable results store
+    python -m repro experiments list
+    python -m repro experiments describe figure4a
+    python -m repro experiments run figure4a --scale quick --workers 4
+    python -m repro results show
+    python -m repro results show figure4a-0001-1a2b3c4d
+    python -m repro results export --format csv --out results.csv
+    python -m repro results diff --experiment figure4a   # latest two runs
+
     # parallel + cached + resumable campaigns over the same experiments
     python -m repro campaign figure4a --workers 4 --scale quick
     python -m repro campaign figure6 --sweep topology=tree --sweep size=24,48
@@ -27,13 +36,15 @@ Usage::
     python -m repro protocols describe two-phase
     python -m repro --version
 
-Each experiment prints the regenerated data series (the same rows the
-paper plots) and, with ``--out``, writes text/JSON artefacts.  The
-``campaign`` subcommand runs the simulated experiments through
-:class:`repro.experiments.campaign.Campaign`: trials fan out over worker
-processes, completed trials persist in an on-disk cache (so interrupted
-or repeated campaigns only pay for what never finished), and the printed
-table is bit-identical to the serial command's.
+Every experiment command — the legacy per-figure spellings, ``campaign``
+and ``experiments run`` — dispatches through the experiment registry
+(:mod:`repro.experiments.registry`), so built-ins and plugin experiments
+share one execution path: trials compile to campaign specs, fan out over
+worker processes, persist in the on-disk trial cache, and aggregate into
+typed :class:`~repro.results.ResultSet` records.  ``experiments run``
+additionally appends each run to the results store
+(``.repro-results.jsonl`` by default), which is what ``repro results
+show/export/diff`` query — ``diff`` is the run-to-run regression gate.
 """
 
 from __future__ import annotations
@@ -41,10 +52,18 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.errors import ValidationError
-from repro.experiments.campaign import Campaign, SweepValue, parse_sweeps
+from repro.experiments.campaign import Campaign, parse_sweeps
+from repro.experiments.registry import (
+    ExperimentSpec,
+    experiment_names,
+    experiment_specs,
+    resolve_experiment,
+)
+from repro.experiments.report import ExperimentRecord, ReportWriter
+from repro.experiments.runner import current_scale
 from repro.protocols.registry import (
     DeployContext,
     GossipProtocolParams,
@@ -53,14 +72,8 @@ from repro.protocols.registry import (
     protocol_specs,
     resolve_protocol,
 )
-from repro.experiments.figure1 import figure1_table
-from repro.experiments.figure4 import figure4_table
-from repro.experiments.figure5 import figure5_table
-from repro.experiments.figure6 import figure6_table
-from repro.experiments.heterogeneous import heterogeneity_table
-from repro.experiments.report import ExperimentRecord, ReportWriter
-from repro.experiments.runner import ExperimentScale, current_scale, scaled
-from repro.experiments.table1 import table1_render
+from repro.results.schema import ResultSet, diff_result_sets
+from repro.results.store import ResultStore, default_store_path
 from repro.scenario.registry import (
     build_scenario,
     scenario_names,
@@ -68,155 +81,13 @@ from repro.scenario.registry import (
 )
 from repro.scenario.run import SCENARIO_SWEEP_KEYS, scenario_reports
 from repro.util.cache import TrialCache, default_cache_dir
-from repro.util.tables import SeriesTable
+from repro.util.tables import render_table
 
-_EXPERIMENTS: Dict[str, str] = {
-    "figure1": "two-path adaptive/gossip ratio (analytic, exact)",
-    "table1": "Bayesian belief adaptation (exact)",
-    "figure4a": "reference/optimal message ratio, crashes (simulated)",
-    "figure4b": "reference/optimal message ratio, losses (simulated)",
-    "figure5a": "convergence effort, crashes (simulated)",
-    "figure5b": "convergence effort, losses (simulated)",
-    "figure6": "scalability: ring vs random tree (simulated)",
-    "heterogeneous": "extension: uniform vs heterogeneous environments",
-}
-
-#: Simulated experiments a campaign can run (the analytic ones are instant).
-CAMPAIGN_EXPERIMENTS = (
-    "figure4a",
-    "figure4b",
-    "figure5a",
-    "figure5b",
-    "figure6",
-    "heterogeneous",
+#: Fixed subcommand names a registered experiment may never shadow.
+_RESERVED_COMMANDS = frozenset(
+    ("list", "demo", "protocols", "experiments", "results", "campaign",
+     "scenario")
 )
-
-#: Sweepable keys per campaign experiment (``--sweep key=v1,v2,...``).
-_SWEEP_KEYS: Dict[str, Sequence[str]] = {
-    "figure4a": ("connectivity", "crash", "n", "trials"),
-    "figure4b": ("connectivity", "loss", "n", "trials"),
-    "figure5a": ("connectivity", "crash", "n", "trials"),
-    "figure5b": ("connectivity", "loss", "n", "trials"),
-    "figure6": ("size", "topology", "loss", "trials"),
-    "heterogeneous": ("connectivity", "loss", "n", "trials"),
-}
-
-
-def _build(
-    name: str, scale: ExperimentScale, campaign: Optional[Campaign] = None
-) -> SeriesTable:
-    builders: Dict[str, Callable[[], SeriesTable]] = {
-        "figure1": figure1_table,
-        "figure4a": lambda: figure4_table(
-            variant="crash", scale=scale, campaign=campaign
-        ),
-        "figure4b": lambda: figure4_table(
-            variant="loss", scale=scale, campaign=campaign
-        ),
-        "figure5a": lambda: figure5_table(
-            variant="crash", scale=scale, campaign=campaign
-        ),
-        "figure5b": lambda: figure5_table(
-            variant="loss", scale=scale, campaign=campaign
-        ),
-        "figure6": lambda: figure6_table(scale=scale, campaign=campaign),
-        "heterogeneous": lambda: heterogeneity_table(
-            scale=scale, campaign=campaign
-        ),
-    }
-    return builders[name]()
-
-
-def _single(values: List[SweepValue], key: str) -> float:
-    if len(values) != 1:
-        raise ValidationError(
-            f"sweep key {key!r} accepts exactly one value here, got {values}"
-        )
-    return float(values[0])
-
-
-def build_campaign_table(
-    name: str,
-    scale: ExperimentScale,
-    sweeps: Dict[str, List[SweepValue]],
-    campaign: Campaign,
-) -> SeriesTable:
-    """Apply sweep overrides to ``scale`` and run one campaign experiment."""
-    allowed = _SWEEP_KEYS[name]
-    for key in sweeps:
-        if key not in allowed:
-            raise ValidationError(
-                f"experiment {name!r} does not sweep {key!r}; "
-                f"supported keys: {', '.join(allowed)}"
-            )
-    sweeps = dict(sweeps)
-    if "n" in sweeps:
-        scale = scaled(scale, n=int(_single(sweeps.pop("n"), "n")))
-    trials_override: Optional[int] = None
-    if "trials" in sweeps:
-        trials_override = int(_single(sweeps.pop("trials"), "trials"))
-        if trials_override < 1:
-            raise ValidationError(
-                f"swept trials must be >= 1, got {trials_override}"
-            )
-    connectivities: Optional[tuple] = None
-    if "connectivity" in sweeps:
-        connectivities = tuple(int(v) for v in sweeps.pop("connectivity"))
-        # an explicitly swept value must never be silently dropped by the
-        # builders' connectivity < n grid filter
-        bad = [k for k in connectivities if k >= scale.n]
-        if bad:
-            raise ValidationError(
-                f"swept connectivity values {bad} must be below n={scale.n} "
-                "(sweep n=... too, or pick smaller values)"
-            )
-        scale = scaled(scale, connectivities=connectivities)
-
-    if name in ("figure4a", "figure4b", "heterogeneous") and trials_override is not None:
-        scale = scaled(scale, trials=trials_override)
-
-    if name in ("figure4a", "figure5a", "figure4b", "figure5b"):
-        variant = "crash" if name.endswith("a") else "loss"
-        values = sweeps.pop(variant, None)
-        if name.startswith("figure4"):
-            return figure4_table(
-                variant=variant,
-                scale=scale,
-                values=tuple(float(v) for v in values) if values else None,
-                campaign=campaign,
-            )
-        # figure5: pass trials explicitly so a swept count is used as-is
-        # instead of being rescaled through scale.convergence_trials()
-        return figure5_table(
-            variant=variant,
-            scale=scale,
-            values=tuple(float(v) for v in values) if values else None,
-            trials=trials_override,
-            campaign=campaign,
-        )
-    if name == "figure6":
-        sizes = sweeps.pop("size", None)
-        topologies = sweeps.pop("topology", None)
-        losses = sweeps.pop("loss", None)
-        return figure6_table(
-            scale=scale,
-            sizes=tuple(int(v) for v in sizes) if sizes else None,
-            trials=trials_override,
-            topologies=tuple(str(v) for v in topologies) if topologies else None,
-            losses=tuple(float(v) for v in losses) if losses else None,
-            campaign=campaign,
-        )
-    if name == "heterogeneous":
-        mean_loss = 0.05
-        if "loss" in sweeps:
-            mean_loss = _single(sweeps.pop("loss"), "loss")
-        return heterogeneity_table(
-            scale=scale,
-            mean_loss=mean_loss,
-            connectivities=connectivities,
-            campaign=campaign,
-        )
-    raise ValidationError(f"unknown campaign experiment {name!r}")
 
 
 def _run_demo() -> int:
@@ -305,6 +176,18 @@ def _add_campaign_options(cmd: argparse.ArgumentParser, sweep_help: str) -> None
     )
 
 
+def _add_store_option(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help=(
+            "results store path (default: $REPRO_RESULTS or "
+            f"{default_store_path()!r})"
+        ),
+    )
+
+
 def _version_string() -> str:
     """Package version from installed metadata, source-tree fallback."""
     from repro.api import version
@@ -348,8 +231,15 @@ def make_parser() -> argparse.ArgumentParser:
         "describe", help="print one protocol's spec (params, flags, aliases)"
     )
     prot_desc.add_argument("name", metavar="PROTOCOL")
-    for name, description in _EXPERIMENTS.items():
-        cmd = sub.add_parser(name, help=description)
+
+    # legacy per-experiment spellings, one subcommand per registered
+    # experiment (delegating to the registry); an experiment whose name
+    # collides with a fixed subcommand (a plugin named "campaign") must
+    # not take down the parser — it stays reachable via 'experiments run'
+    for spec in experiment_specs():
+        if spec.name in _RESERVED_COMMANDS:
+            continue
+        cmd = sub.add_parser(spec.name, help=spec.description)
         cmd.add_argument(
             "--scale",
             choices=["quick", "default", "full"],
@@ -363,6 +253,95 @@ def make_parser() -> argparse.ArgumentParser:
             help="also write text/JSON artefacts to DIR",
         )
 
+    exps = sub.add_parser(
+        "experiments",
+        help="the experiment registry (list/describe/run)",
+        description=(
+            "Inspect and run registered experiments: the paper's "
+            "figures and tables plus any plugins discovered through "
+            "the 'repro.experiments' entry-point group or the "
+            "REPRO_EXPERIMENTS environment variable.  'run' executes "
+            "through the campaign engine (parallel, cached, "
+            "bit-identical to serial) and appends the typed result to "
+            "the results store for 'repro results show/export/diff'."
+        ),
+    )
+    exps_sub = exps.add_subparsers(dest="experiments_command", required=True)
+    exps_sub.add_parser(
+        "list", help="list registered experiments with artefacts and axes"
+    )
+    exps_desc = exps_sub.add_parser(
+        "describe", help="print one experiment's spec (axes, aliases)"
+    )
+    exps_desc.add_argument("name", metavar="EXPERIMENT")
+    exps_run = exps_sub.add_parser(
+        "run", help="run one experiment through the registry"
+    )
+    exps_run.add_argument("name", metavar="EXPERIMENT")
+    _add_campaign_options(
+        exps_run,
+        sweep_help=(
+            "override one experiment axis; repeatable "
+            "(see 'repro experiments describe <name>' for the axes)"
+        ),
+    )
+    _add_store_option(exps_run)
+    exps_run.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not append the result to the results store",
+    )
+
+    res = sub.add_parser(
+        "results",
+        help="the results store (show/export/diff)",
+        description=(
+            "Query the durable results store: every 'repro experiments "
+            "run' appends one typed, provenance-stamped record.  'diff' "
+            "compares two runs cell-by-cell with a numeric tolerance — "
+            "the run-to-run regression gate."
+        ),
+    )
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+    res_show = res_sub.add_parser(
+        "show", help="list stored runs, or print one run's table"
+    )
+    res_show.add_argument(
+        "run_id", nargs="?", default=None, metavar="RUN_ID",
+        help="print this run in full (default: list all runs)",
+    )
+    res_show.add_argument("--experiment", default=None, metavar="NAME")
+    res_show.add_argument("--last", type=int, default=None, metavar="N")
+    _add_store_option(res_show)
+    res_export = res_sub.add_parser(
+        "export", help="export stored runs as CSV or JSON"
+    )
+    res_export.add_argument("--experiment", default=None, metavar="NAME")
+    res_export.add_argument(
+        "--format", choices=["csv", "json"], default="csv", dest="fmt"
+    )
+    res_export.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write to FILE (default: stdout)",
+    )
+    _add_store_option(res_export)
+    res_diff = res_sub.add_parser(
+        "diff", help="compare two runs cell-by-cell (regression check)"
+    )
+    res_diff.add_argument(
+        "runs", nargs="*", metavar="RUN_ID",
+        help="two run ids (or none with --experiment: its latest two runs)",
+    )
+    res_diff.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="diff the latest two stored runs of this experiment",
+    )
+    res_diff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="T",
+        help="max allowed per-cell absolute drift (default: 0 = bit-identical)",
+    )
+    _add_store_option(res_diff)
+
     camp = sub.add_parser(
         "campaign",
         help="run a simulated experiment in parallel with result caching",
@@ -373,7 +352,7 @@ def make_parser() -> argparse.ArgumentParser:
             "for free.  Output is bit-identical to the serial command."
         ),
     )
-    camp.add_argument("experiment", choices=CAMPAIGN_EXPERIMENTS)
+    camp.add_argument("experiment", choices=experiment_names(simulated=True))
     _add_campaign_options(
         camp,
         sweep_help=(
@@ -443,53 +422,337 @@ def _campaign_summary(campaign: Campaign, workers: int, cache) -> str:
     )
 
 
+def _write_result_artefacts(
+    result: ResultSet,
+    spec: ExperimentSpec,
+    out_dir: str,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """``--out`` artefacts for one registry-run experiment.
+
+    Figure-shaped results keep the legacy ReportWriter layout
+    (``<name>.txt`` / ``<name>.json`` with the series data); flat tables
+    (Table 1) keep their historical text artefact.
+    """
+    if result.x_label is not None:
+        writer = ReportWriter(out_dir)
+        writer.add(ExperimentRecord.from_result_set(result, spec, metadata))
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    stem = "table_1" if spec.name == "table1" else spec.name
+    with open(os.path.join(out_dir, f"{stem}.txt"), "w") as fh:
+        fh.write(result.render() + "\n")
+
+
+def _run_registry_experiment(args: argparse.Namespace) -> int:
+    """Legacy ``repro figure4a``-style commands, through the registry."""
+    scale = current_scale(args.scale)
+    spec = resolve_experiment(args.command)
+    result = spec.run(scale=scale)
+    print(result.render())
+    if args.out:
+        _write_result_artefacts(result, spec, args.out)
+        if result.x_label is not None:
+            print(f"\nartefacts written to {args.out}/")
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     scale = current_scale(args.scale)
     try:
+        spec = resolve_experiment(args.experiment)
         campaign, workers, cache = _campaign_setup(args)
         sweeps = parse_sweeps(args.sweep)
-        table = build_campaign_table(args.experiment, scale, sweeps, campaign)
+        result = spec.run(scale=scale, params=sweeps, campaign=campaign)
     except ValueError as exc:
         # ValidationError and the builders' ValueErrors (bad variant,
         # bad topology, bad worker count) all surface as clean usage errors
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(table.render())
+    print(result.render())
     print(f"\n{_campaign_summary(campaign, workers, cache)}")
     if args.out:
-        writer = ReportWriter(args.out)
-        writer.add(
-            ExperimentRecord(
-                experiment_id=args.experiment,
-                description=_EXPERIMENTS[args.experiment],
-                scale=scale.name,
-                table=table,
-                metadata={
-                    "workers": workers,
-                    "trials_executed": campaign.executed,
-                    "cache_hits": campaign.cached,
-                    "cache_dir": cache.directory if cache else None,
-                    "sweeps": args.sweep,
-                },
-            )
+        _write_result_artefacts(
+            result,
+            spec,
+            args.out,
+            metadata={
+                "workers": workers,
+                "trials_executed": campaign.executed,
+                "cache_hits": campaign.cached,
+                "cache_dir": cache.directory if cache else None,
+                "sweeps": args.sweep,
+            },
         )
         print(f"artefacts written to {args.out}/")
     return 0
 
 
+def _print_experiment_table() -> None:
+    """One line per registered experiment: name, artefact, axes."""
+    specs = experiment_specs()
+    rows = []
+    for spec in specs:
+        rows.append(
+            [
+                spec.name,
+                spec.artefact or "-",
+                ", ".join(spec.aliases) or "-",
+                ", ".join(spec.sweep_keys()) or "-",
+            ]
+        )
+    print(
+        render_table(
+            ["experiment", "artefact", "aliases", "sweep axes"], rows
+        )
+    )
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """``repro experiments list|describe|run``."""
+    if args.experiments_command == "list":
+        _print_experiment_table()
+        print(
+            "\n  'repro experiments describe <name>' for the axes; "
+            "'repro experiments run <name>' executes through the "
+            "campaign engine and stores the typed result; plugins "
+            "register via the 'repro.experiments' entry-point group "
+            "or REPRO_EXPERIMENTS"
+        )
+        return 0
+    if args.experiments_command == "describe":
+        try:
+            spec = resolve_experiment(args.name)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{spec.name} — {spec.description}")
+        print(f"  artefact:     {spec.artefact or '(none)'}")
+        print(f"  aliases:      {', '.join(spec.aliases) or '(none)'}")
+        print(f"  execution:    {'simulated' if spec.simulated else 'analytic'}"
+              " (campaign-backed either way)")
+        rows = spec.param_fields()
+        if not rows:
+            print("  axes:         (none)")
+        else:
+            print("  axes:         (sweep as --sweep <axis>=v1,v2)")
+            width = max(len(name) for name, _, _ in rows)
+            for name, type_name, _ in rows:
+                print(f"    {name:<{width}}  {type_name}")
+        return 0
+
+    # run
+    scale = current_scale(args.scale)
+    store: Optional[ResultStore] = None
+    try:
+        spec = resolve_experiment(args.name)
+        campaign, workers, cache = _campaign_setup(args)
+        # validate the sweeps before touching the filesystem: a typo'd
+        # --sweep key must not leave a freshly created store file behind
+        params = spec.make_params(parse_sweeps(args.sweep))
+        # probe the store before running: an unwritable --store path
+        # must fail here, not after the trials already burned
+        store = (
+            None if args.no_store else ResultStore(args.store).check_writable()
+        )
+        result = spec.run(scale=scale, params=params, campaign=campaign)
+    except (ValueError, OSError) as exc:
+        if store is not None:
+            # value-level validation (connectivity<n) fires inside
+            # spec.run, after the probe — clean up an empty store file
+            store.discard_probe_residue()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store_error: Optional[Exception] = None
+    if store is not None:
+        try:
+            result = store.append(result)
+        except (OSError, ValueError) as exc:
+            store_error = exc  # never discard a computed table over this
+    print(result.render())
+    print(f"\n{_campaign_summary(campaign, workers, cache)}")
+    if store is not None and store_error is None:
+        print(f"stored as {result.run_id} in {store.path}")
+    if args.out:
+        _write_result_artefacts(
+            result,
+            spec,
+            args.out,
+            metadata={
+                "workers": workers,
+                "trials_executed": campaign.executed,
+                "cache_hits": campaign.cached,
+                "sweeps": args.sweep,
+            },
+        )
+        print(f"artefacts written to {args.out}/")
+    if store_error is not None:
+        print(
+            f"error: result not stored in {store.path}: {store_error}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _canonical_experiment(name: Optional[str]) -> Optional[str]:
+    """Resolve an experiment filter through the registry when possible.
+
+    Stored runs may come from plugins that are not installed right now,
+    so an unresolvable name falls back to the raw string instead of
+    erroring — the query then simply matches the stored name.
+    """
+    if name is None:
+        return None
+    try:
+        return resolve_experiment(name).name
+    except ValidationError:
+        return name
+
+
+def _run_results(args: argparse.Namespace) -> int:
+    """``repro results show|export|diff`` (all read-only on the store)."""
+    try:
+        return _run_results_inner(args, ResultStore(args.store))
+    except OSError as exc:
+        # unreadable store path / unwritable --out: usage error, not a
+        # traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_results_inner(args: argparse.Namespace, store: ResultStore) -> int:
+    if args.results_command == "show":
+        if args.run_id:
+            try:
+                result = store.get(args.run_id)
+            except ValidationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(result.render())
+            prov = result.provenance
+            if prov is not None:
+                print(
+                    f"\nrun {result.run_id}: {prov.experiment} "
+                    f"({prov.artefact or 'no artefact'}), "
+                    f"scale {prov.scale or '?'}"
+                )
+                if prov.params:
+                    params = ", ".join(
+                        f"{k}={v}" for k, v in sorted(prov.params.items())
+                    )
+                    print(f"  params:   {params}")
+                print(f"  seed:     {prov.seed}")
+                print(
+                    f"  version:  repro {prov.repro_version} "
+                    f"(schema v{prov.schema_version}"
+                    + (f", git {prov.git}" if prov.git else "")
+                    + ")"
+                )
+                if prov.created_at:
+                    print(f"  created:  {prov.created_at}")
+            return 0
+        try:
+            results = store.query(
+                experiment=_canonical_experiment(args.experiment),
+                last=args.last,
+            )
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not results:
+            print(f"no stored runs in {store.path}")
+            return 0
+        rows = []
+        for result in results:
+            prov = result.provenance
+            rows.append(
+                [
+                    result.run_id or "-",
+                    result.experiment,
+                    prov.scale if prov else "-",
+                    len(result.rows),
+                    (prov.created_at if prov else None) or "-",
+                ]
+            )
+        print(
+            render_table(
+                ["run id", "experiment", "scale", "rows", "created (UTC)"],
+                rows,
+            )
+        )
+        print(f"\n{len(results)} run(s) in {store.path}")
+        return 0
+
+    if args.results_command == "export":
+        experiment = _canonical_experiment(args.experiment)
+        text = (
+            store.export_csv(experiment=experiment)
+            if args.fmt == "csv"
+            else store.export_json(experiment=experiment)
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text if text.endswith("\n") else text + "\n")
+            print(f"exported to {args.out}")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+
+    # diff
+    try:
+        if args.runs and len(args.runs) == 2:
+            a, b = (store.get(run_id) for run_id in args.runs)
+        elif not args.runs and args.experiment:
+            latest = store.latest(
+                experiment=_canonical_experiment(args.experiment), count=2
+            )
+            if len(latest) < 2:
+                raise ValidationError(
+                    f"need two stored runs of {args.experiment!r} to diff, "
+                    f"found {len(latest)} in {store.path}"
+                )
+            a, b = latest
+        else:
+            raise ValidationError(
+                "results diff takes exactly two RUN_IDs, or --experiment "
+                "NAME to diff its latest two runs"
+            )
+        diff = diff_result_sets(a, b, tolerance=args.tolerance)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render())
+    return 0 if diff.clean else 1
+
+
 def _run_list() -> int:
     """``repro list``: experiments plus the non-experiment subcommands."""
     print("experiments:")
-    width = max(len(n) for n in _EXPERIMENTS)
-    for name, description in _EXPERIMENTS.items():
-        print(f"  {name:<{width}}  {description}")
+    specs = experiment_specs()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  {spec.description}")
+    print(
+        "\nexperiments list|describe|run  the experiment registry "
+        "(typed results, stored + diffable)"
+    )
+    _print_experiment_table()
     print(
         "\ncampaign <experiment>  parallel cached run of any simulated "
         "experiment above"
     )
-    sweep_width = max(len(n) for n in _SWEEP_KEYS)
-    for name in CAMPAIGN_EXPERIMENTS:
-        print(f"  {name:<{sweep_width}}  --sweep {', '.join(_SWEEP_KEYS[name])}")
+    simulated = [spec for spec in specs if spec.simulated]
+    sweep_width = max(len(spec.name) for spec in simulated)
+    for spec in simulated:
+        print(
+            f"  {spec.name:<{sweep_width}}  --sweep "
+            f"{', '.join(spec.sweep_keys())}"
+        )
+    print(
+        "\nresults show|export|diff  the durable results store "
+        "(provenance, CSV/JSON export, regression diff)"
+    )
     print(
         "\nscenario list|describe|run  dynamic-environment scenarios "
         "(protocol comparisons under stress)"
@@ -556,7 +819,7 @@ def _run_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
-def _integer_sweep_value(key: str, value: SweepValue) -> int:
+def _integer_sweep_value(key: str, value) -> int:
     """Sweep values for the integer axes must be whole numbers.
 
     ``--sweep trials=2.9`` silently running 2 trials would change the
@@ -571,11 +834,9 @@ def _integer_sweep_value(key: str, value: SweepValue) -> int:
     return int(number)
 
 
-def _scenario_sweep_combos(
-    sweeps: Dict[str, List[SweepValue]],
-) -> List[Dict[str, SweepValue]]:
+def _scenario_sweep_combos(sweeps: Dict[str, List]) -> List[Dict]:
     """Cartesian product of sweep values → one override dict per combo."""
-    combos: List[Dict[str, SweepValue]] = [{}]
+    combos: List[Dict] = [{}]
     for key, values in sweeps.items():
         combos = [
             {**combo, key: value} for combo in combos for value in values
@@ -668,35 +929,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_demo()
     if args.command == "protocols":
         return _run_protocols(args)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "results":
+        return _run_results(args)
     if args.command == "campaign":
         return _run_campaign(args)
     if args.command == "scenario":
         return _run_scenario(args)
-
-    scale = current_scale(args.scale)
-    if args.command == "table1":
-        text = table1_render()
-        print(text)
-        if args.out:
-            writer = ReportWriter(args.out)
-            with open(f"{args.out}/table_1.txt", "w") as fh:
-                fh.write(text + "\n")
-        return 0
-
-    table = _build(args.command, scale)
-    print(table.render())
-    if args.out:
-        writer = ReportWriter(args.out)
-        writer.add(
-            ExperimentRecord(
-                experiment_id=args.command,
-                description=_EXPERIMENTS[args.command],
-                scale=scale.name,
-                table=table,
-            )
-        )
-        print(f"\nartefacts written to {args.out}/")
-    return 0
+    return _run_registry_experiment(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,8 @@ able to discriminate the precise failure mode.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -62,8 +64,30 @@ class ProtocolError(ReproError):
     """A protocol implementation violated its operating contract."""
 
 
-class UnknownProtocolError(ValidationError):
-    """A protocol name did not resolve against the protocol registry.
+def closest_name(name: str, candidates: "Iterable[str]") -> "str | None":
+    """The closest candidate to ``name`` (difflib), or None when nothing
+    is close enough to suggest."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, sorted(candidates), n=1)
+    return matches[0] if matches else None
+
+
+def did_you_mean(name: str, candidates: "Iterable[str]") -> "tuple[str | None, str]":
+    """Shared "did you mean?" helper for unknown-name errors.
+
+    Returns ``(suggestion, hint)`` where ``hint`` is either an empty
+    string or ``" — did you mean '<suggestion>'?"`` ready to append to an
+    error message — the single formatting path behind
+    :class:`UnknownProtocolError` and :class:`UnknownExperimentError`.
+    """
+    suggestion = closest_name(name, candidates)
+    hint = f" — did you mean {suggestion!r}?" if suggestion else ""
+    return suggestion, hint
+
+
+class UnknownNameError(ValidationError):
+    """A name did not resolve against one of the registries.
 
     Attributes:
         suggestion: the closest registered name/alias, or None when the
@@ -73,6 +97,14 @@ class UnknownProtocolError(ValidationError):
     def __init__(self, message: str, suggestion: "str | None" = None) -> None:
         super().__init__(message)
         self.suggestion = suggestion
+
+
+class UnknownProtocolError(UnknownNameError):
+    """A protocol name did not resolve against the protocol registry."""
+
+
+class UnknownExperimentError(UnknownNameError):
+    """An experiment name did not resolve against the experiment registry."""
 
 
 class CalibrationError(ReproError):

@@ -22,6 +22,16 @@ from repro.experiments.figure4 import figure4_table
 from repro.experiments.figure5 import figure5_table
 from repro.experiments.figure6 import figure6_table
 from repro.experiments.heterogeneous import heterogeneity_table
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    experiment_names,
+    experiment_specs,
+    register_experiment,
+    resolve_experiment,
+    run_experiment,
+    unregister_experiment,
+)
 from repro.experiments.table1 import table1_render
 
 __all__ = [
@@ -37,4 +47,12 @@ __all__ = [
     "figure6_table",
     "heterogeneity_table",
     "table1_render",
+    "ExperimentSpec",
+    "ExperimentContext",
+    "register_experiment",
+    "unregister_experiment",
+    "resolve_experiment",
+    "experiment_names",
+    "experiment_specs",
+    "run_experiment",
 ]

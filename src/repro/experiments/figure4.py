@@ -38,6 +38,7 @@ from repro.experiments.runner import (
     current_scale,
     make_network,
     point_grid,
+    variant_axes,
 )
 from repro.protocols.gossip import calibrate_rounds, run_gossip_trial
 from repro.topology.configuration import Configuration
@@ -199,6 +200,110 @@ def _seed_tag(connectivity: int, crash: float, loss: float, n: int) -> str:
     return f"k{connectivity}-P{crash}-L{loss}-n{n}"
 
 
+def _variant_axes(
+    variant: str, values: Optional[Sequence[float]]
+) -> Tuple[Tuple[float, ...], str, str]:
+    """The (values, curve label, title) triple of one Figure 4 variant."""
+    return variant_axes(
+        variant,
+        values,
+        defaults={"crash": PAPER_CRASH_VALUES, "loss": PAPER_LOSS_VALUES},
+        titles={
+            "crash": "Figure 4(a) - reference/optimal ratio, reliable links (L=0)",
+            "loss": "Figure 4(b) - reference/optimal ratio, reliable processes (P=0)",
+        },
+    )
+
+
+def _probs(variant: str, value: float) -> Tuple[float, float]:
+    """The (crash, loss) pair a swept value denotes in this variant."""
+    return (float(value), 0.0) if variant == "crash" else (0.0, float(value))
+
+
+def figure4_build(
+    variant: str,
+    scale: ExperimentScale,
+    campaign: Campaign,
+    values: Optional[Sequence[float]] = None,
+    count_acks: bool = False,
+) -> List[TrialSpec]:
+    """Phase 1 + the phase-2 specs of one Figure 4 variant.
+
+    The calibration phase (one round-budget fit per grid point) runs
+    through ``campaign`` immediately — its results parameterise the
+    measurement specs this returns.  Callers (``figure4_table``, the
+    experiment registry) run the returned specs through the same
+    campaign and hand the results to :func:`figure4_aggregate`.
+    """
+    values, _, _ = _variant_axes(variant, values)
+    points = point_grid(scale, values)
+
+    # Phase 1: one calibration per (value, connectivity) point.
+    cal_specs: List[TrialSpec] = []
+    for value, connectivity in points:
+        crash, loss = _probs(variant, value)
+        cal_specs.append(
+            TrialSpec.make(
+                CALIBRATION_FN,
+                n=scale.n,
+                connectivity=connectivity,
+                crash=crash,
+                loss=loss,
+                k_target=scale.k_target,
+                trials=scale.calibration_trials,
+                seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
+            )
+        )
+    calibrations = campaign.run(cal_specs)
+
+    # Phase 2: the measurement trials, fanned out across all points.
+    meas_specs: List[TrialSpec] = []
+    for (value, connectivity), calibration in zip(points, calibrations):
+        crash, loss = _probs(variant, value)
+        for trial in range(scale.trials):
+            meas_specs.append(
+                TrialSpec.make(
+                    MEASUREMENT_FN,
+                    n=scale.n,
+                    connectivity=connectivity,
+                    crash=crash,
+                    loss=loss,
+                    k_target=scale.k_target,
+                    rounds=int(calibration["rounds"]),
+                    trial=trial,
+                    seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
+                    count_acks=count_acks,
+                )
+            )
+    return meas_specs
+
+
+def figure4_aggregate(
+    variant: str,
+    scale: ExperimentScale,
+    measurements: Sequence[Dict[str, float]],
+    values: Optional[Sequence[float]] = None,
+) -> SeriesTable:
+    """Fold ordered measurement results into the Figure 4 table."""
+    values, label, title = _variant_axes(variant, values)
+    points = point_grid(scale, values)
+    table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    by_value: Dict[float, Series] = {
+        value: Series(name=f"{label}={value:g}") for value in values
+    }
+    for (value, connectivity), chunk in zip(
+        points, chunked(measurements, scale.trials)
+    ):
+        crash, loss = _probs(variant, value)
+        graph, config = _uniform_config(scale.n, connectivity, crash, loss)
+        optimal = optimal_messages(graph, config, scale.k_target)
+        reference = Campaign.aggregate(chunk, "messages").mean
+        by_value[value].add(connectivity, reference / optimal)
+    for value in values:
+        table.add_series(by_value[value])
+    return table
+
+
 def figure4_table(
     variant: str = "crash",
     scale: Optional[ExperimentScale] = None,
@@ -219,75 +324,8 @@ def figure4_table(
     """
     scale = scale or current_scale()
     campaign = campaign or Campaign()
-    if variant == "crash":
-        values = tuple(values or PAPER_CRASH_VALUES)
-        label = "P"
-        title = "Figure 4(a) - reference/optimal ratio, reliable links (L=0)"
-    elif variant == "loss":
-        values = tuple(values or PAPER_LOSS_VALUES)
-        label = "L"
-        title = "Figure 4(b) - reference/optimal ratio, reliable processes (P=0)"
-    else:
-        raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
-
-    points = point_grid(scale, values)
-
-    def probs(value: float) -> Tuple[float, float]:
-        """The (crash, loss) pair a swept value denotes in this variant."""
-        return (float(value), 0.0) if variant == "crash" else (0.0, float(value))
-
-    # Phase 1: one calibration per (value, connectivity) point.
-    cal_specs: List[TrialSpec] = []
-    for value, connectivity in points:
-        crash, loss = probs(value)
-        cal_specs.append(
-            TrialSpec.make(
-                CALIBRATION_FN,
-                n=scale.n,
-                connectivity=connectivity,
-                crash=crash,
-                loss=loss,
-                k_target=scale.k_target,
-                trials=scale.calibration_trials,
-                seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
-            )
-        )
-    calibrations = campaign.run(cal_specs)
-
-    # Phase 2: the measurement trials, fanned out across all points.
-    meas_specs: List[TrialSpec] = []
-    for (value, connectivity), calibration in zip(points, calibrations):
-        crash, loss = probs(value)
-        for trial in range(scale.trials):
-            meas_specs.append(
-                TrialSpec.make(
-                    MEASUREMENT_FN,
-                    n=scale.n,
-                    connectivity=connectivity,
-                    crash=crash,
-                    loss=loss,
-                    k_target=scale.k_target,
-                    rounds=int(calibration["rounds"]),
-                    trial=trial,
-                    seed_tag=_seed_tag(connectivity, crash, loss, scale.n),
-                    count_acks=count_acks,
-                )
-            )
+    meas_specs = figure4_build(
+        variant, scale, campaign, values=values, count_acks=count_acks
+    )
     measurements = campaign.run(meas_specs)
-
-    # Aggregate per point, folding trials in serial order.
-    table = SeriesTable(title=title, x_label="connectivity (links/process)")
-    by_value: Dict[float, Series] = {
-        value: Series(name=f"{label}={value:g}") for value in values
-    }
-    for (value, connectivity), chunk in zip(
-        points, chunked(measurements, scale.trials)
-    ):
-        crash, loss = probs(value)
-        graph, config = _uniform_config(scale.n, connectivity, crash, loss)
-        optimal = optimal_messages(graph, config, scale.k_target)
-        reference = Campaign.aggregate(chunk, "messages").mean
-        by_value[value].add(connectivity, reference / optimal)
-    for value in values:
-        table.add_series(by_value[value])
-    return table
+    return figure4_aggregate(variant, scale, measurements, values=values)

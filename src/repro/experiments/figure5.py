@@ -18,7 +18,7 @@ serial run.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.convergence import ConvergenceCriterion, views_converged
 from repro.core.adaptive import AdaptiveParameters
@@ -34,6 +34,7 @@ from repro.experiments.runner import (
     current_scale,
     make_network,
     point_grid,
+    variant_axes,
 )
 from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
 from repro.sim.trace import MessageCategory
@@ -198,6 +199,61 @@ def figure5_point(
     return _point_row(connectivity, campaign.run(specs))
 
 
+def _variant_axes(
+    variant: str, values: Optional[Sequence[float]]
+) -> Tuple[Tuple[float, ...], str, str]:
+    """The (values, curve label, title) triple of one Figure 5 variant."""
+    return variant_axes(
+        variant,
+        values,
+        defaults={"crash": PAPER_CRASH_VALUES, "loss": PAPER_LOSS_VALUES},
+        titles={
+            "crash": "Figure 5(a) - convergence effort, reliable links (L=0)",
+            "loss": "Figure 5(b) - convergence effort, reliable processes (P=0)",
+        },
+    )
+
+
+def figure5_build(
+    variant: str,
+    scale: ExperimentScale,
+    values: Optional[Sequence[float]] = None,
+    trials: Optional[int] = None,
+) -> List[TrialSpec]:
+    """All convergence trials of one Figure 5 variant, in grid order."""
+    values, _, _ = _variant_axes(variant, values)
+    trials = scale.convergence_trials(trials)
+    specs: List[TrialSpec] = []
+    for value, connectivity in point_grid(scale, values):
+        crash = float(value) if variant == "crash" else 0.0
+        loss = float(value) if variant == "loss" else 0.0
+        specs.extend(_point_specs(connectivity, crash, loss, scale, trials))
+    return specs
+
+
+def figure5_aggregate(
+    variant: str,
+    scale: ExperimentScale,
+    results: Sequence[Dict[str, float]],
+    values: Optional[Sequence[float]] = None,
+    trials: Optional[int] = None,
+) -> SeriesTable:
+    """Fold ordered convergence results into the Figure 5 table."""
+    values, label, title = _variant_axes(variant, values)
+    trials = scale.convergence_trials(trials)
+    points = point_grid(scale, values)
+    table = SeriesTable(title=title, x_label="connectivity (links/process)")
+    by_value: Dict[float, Series] = {
+        value: Series(name=f"{label}={value:g}") for value in values
+    }
+    for (value, connectivity), chunk in zip(points, chunked(results, trials)):
+        row = _point_row(connectivity, chunk)
+        by_value[value].add(connectivity, row["messages_per_link"])
+    for value in values:
+        table.add_series(by_value[value])
+    return table
+
+
 def figure5_table(
     variant: str = "crash",
     scale: Optional[ExperimentScale] = None,
@@ -213,33 +269,5 @@ def figure5_table(
     """
     scale = scale or current_scale()
     campaign = campaign or Campaign()
-    if variant == "crash":
-        values = tuple(values or PAPER_CRASH_VALUES)
-        label = "P"
-        title = "Figure 5(a) - convergence effort, reliable links (L=0)"
-    elif variant == "loss":
-        values = tuple(values or PAPER_LOSS_VALUES)
-        label = "L"
-        title = "Figure 5(b) - convergence effort, reliable processes (P=0)"
-    else:
-        raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
-
-    trials = scale.convergence_trials(trials)
-    points = point_grid(scale, values)
-    specs: List[TrialSpec] = []
-    for value, connectivity in points:
-        crash = float(value) if variant == "crash" else 0.0
-        loss = float(value) if variant == "loss" else 0.0
-        specs.extend(_point_specs(connectivity, crash, loss, scale, trials))
-    results = campaign.run(specs)
-
-    table = SeriesTable(title=title, x_label="connectivity (links/process)")
-    by_value: Dict[float, Series] = {
-        value: Series(name=f"{label}={value:g}") for value in values
-    }
-    for (value, connectivity), chunk in zip(points, chunked(results, trials)):
-        row = _point_row(connectivity, chunk)
-        by_value[value].add(connectivity, row["messages_per_link"])
-    for value in values:
-        table.add_series(by_value[value])
-    return table
+    results = campaign.run(figure5_build(variant, scale, values, trials))
+    return figure5_aggregate(variant, scale, results, values, trials)

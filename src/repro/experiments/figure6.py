@@ -112,6 +112,76 @@ def figure6_point(
     }
 
 
+def _cell_grid(
+    scale: ExperimentScale,
+    sizes: Optional[Sequence[int]],
+    topologies: Optional[Sequence[str]],
+    losses: Optional[Sequence[float]],
+    loss: float,
+):
+    """The validated (topology, loss, n) cell grid of one Figure 6 run."""
+    sizes = tuple(sizes or scale.figure6_sizes)
+    topologies = tuple(topologies or TOPOLOGIES)
+    losses = tuple(losses or (loss,))
+    for topology in topologies:
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be 'ring' or 'tree', got {topology!r}"
+            )
+    cells = [
+        (topology, loss_value, n)
+        for topology in topologies
+        for loss_value in losses
+        for n in sizes
+    ]
+    return cells, losses
+
+
+def figure6_build(
+    scale: ExperimentScale,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    loss: float = DEFAULT_LOSS,
+    topologies: Optional[Sequence[str]] = None,
+    losses: Optional[Sequence[float]] = None,
+) -> List[TrialSpec]:
+    """All scalability trials of one Figure 6 grid, in cell order."""
+    cells, _ = _cell_grid(scale, sizes, topologies, losses, loss)
+    trials = scale.convergence_trials(trials)
+    specs: List[TrialSpec] = []
+    for topology, loss_value, n in cells:
+        specs.extend(_point_specs(topology, n, scale, trials, loss_value))
+    return specs
+
+
+def figure6_aggregate(
+    scale: ExperimentScale,
+    results: Sequence[Dict[str, float]],
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    loss: float = DEFAULT_LOSS,
+    topologies: Optional[Sequence[str]] = None,
+    losses: Optional[Sequence[float]] = None,
+) -> SeriesTable:
+    """Fold ordered scalability results into the Figure 6 table."""
+    cells, losses = _cell_grid(scale, sizes, topologies, losses, loss)
+    trials = scale.convergence_trials(trials)
+    table = SeriesTable(
+        title="Figure 6 - adaptive algorithm scalability",
+        x_label="number of processes",
+    )
+    series_map: Dict[object, Series] = {}
+    for (topology, loss_value, n), chunk in zip(cells, chunked(results, trials)):
+        key = (topology, loss_value)
+        if key not in series_map:
+            name = topology if len(losses) == 1 else f"{topology} L={loss_value:g}"
+            series_map[key] = Series(name=name)
+            table.add_series(series_map[key])
+        stats = Campaign.aggregate(chunk, "messages_per_link")
+        series_map[key].add(n, stats.mean)
+    return table
+
+
 def figure6_table(
     scale: Optional[ExperimentScale] = None,
     sizes: Optional[Sequence[int]] = None,
@@ -131,38 +201,9 @@ def figure6_table(
     """
     scale = scale or current_scale()
     campaign = campaign or Campaign()
-    sizes = tuple(sizes or scale.figure6_sizes)
-    topologies = tuple(topologies or TOPOLOGIES)
-    losses = tuple(losses or (loss,))
-    for topology in topologies:
-        if topology not in TOPOLOGIES:
-            raise ValueError(
-                f"topology must be 'ring' or 'tree', got {topology!r}"
-            )
-    trials = scale.convergence_trials(trials)
-
-    cells = [
-        (topology, loss_value, n)
-        for topology in topologies
-        for loss_value in losses
-        for n in sizes
-    ]
-    specs: List[TrialSpec] = []
-    for topology, loss_value, n in cells:
-        specs.extend(_point_specs(topology, n, scale, trials, loss_value))
-    results = campaign.run(specs)
-
-    table = SeriesTable(
-        title="Figure 6 - adaptive algorithm scalability",
-        x_label="number of processes",
+    results = campaign.run(
+        figure6_build(scale, sizes, trials, loss, topologies, losses)
     )
-    series_map: Dict[object, Series] = {}
-    for (topology, loss_value, n), chunk in zip(cells, chunked(results, trials)):
-        key = (topology, loss_value)
-        if key not in series_map:
-            name = topology if len(losses) == 1 else f"{topology} L={loss_value:g}"
-            series_map[key] = Series(name=name)
-            table.add_series(series_map[key])
-        stats = Campaign.aggregate(chunk, "messages_per_link")
-        series_map[key].add(n, stats.mean)
-    return table
+    return figure6_aggregate(
+        scale, results, sizes, trials, loss, topologies, losses
+    )

@@ -228,22 +228,30 @@ def heterogeneity_point(
     )
 
 
-def heterogeneity_table(
-    scale: Optional[ExperimentScale] = None,
+def _points(
+    scale: ExperimentScale, connectivities: Optional[Sequence[int]]
+) -> List[int]:
+    connectivities = tuple(
+        connectivities or [k for k in scale.connectivities if k <= 12]
+    )
+    return [k for k in connectivities if k < scale.n]
+
+
+def heterogeneity_build(
+    scale: ExperimentScale,
+    campaign: Campaign,
     mean_loss: float = 0.05,
     connectivities: Optional[Sequence[int]] = None,
     spread: float = 1.0,
     seed: int = 0,
-    campaign: Optional[Campaign] = None,
-) -> SeriesTable:
-    """Reference/optimal ratio: uniform vs heterogeneous environments."""
-    scale = scale or current_scale()
-    campaign = campaign or Campaign()
-    connectivities = tuple(
-        connectivities or [k for k in scale.connectivities if k <= 12]
-    )
-    points = [k for k in connectivities if k < scale.n]
+) -> List[TrialSpec]:
+    """Calibration phase + the measurement specs of the comparison.
 
+    As with Figure 4, the calibration fits run through ``campaign``
+    eagerly; the returned measurement specs are what the caller (or the
+    experiment registry) executes and aggregates.
+    """
+    points = _points(scale, connectivities)
     cal_specs = [
         _cal_spec(mode, k, mean_loss, scale, spread, seed)
         for k in points
@@ -259,8 +267,19 @@ def heterogeneity_table(
                 mode, k, mean_loss, scale, spread, seed, int(calibration["rounds"])
             )
         )
-    measurements = campaign.run(meas_specs)
+    return meas_specs
 
+
+def heterogeneity_aggregate(
+    scale: ExperimentScale,
+    measurements: Sequence[Dict[str, float]],
+    mean_loss: float = 0.05,
+    connectivities: Optional[Sequence[int]] = None,
+    spread: float = 1.0,
+    seed: int = 0,
+) -> SeriesTable:
+    """Fold ordered measurement results into the comparison table."""
+    points = _points(scale, connectivities)
     table = SeriesTable(
         title=(
             "Extension - heterogeneous environments "
@@ -281,3 +300,24 @@ def heterogeneity_table(
     table.add_series(uniform)
     table.add_series(hetero)
     return table
+
+
+def heterogeneity_table(
+    scale: Optional[ExperimentScale] = None,
+    mean_loss: float = 0.05,
+    connectivities: Optional[Sequence[int]] = None,
+    spread: float = 1.0,
+    seed: int = 0,
+    campaign: Optional[Campaign] = None,
+) -> SeriesTable:
+    """Reference/optimal ratio: uniform vs heterogeneous environments."""
+    scale = scale or current_scale()
+    campaign = campaign or Campaign()
+    measurements = campaign.run(
+        heterogeneity_build(
+            scale, campaign, mean_loss, connectivities, spread, seed
+        )
+    )
+    return heterogeneity_aggregate(
+        scale, measurements, mean_loss, connectivities, spread, seed
+    )

@@ -27,6 +27,35 @@ class ExperimentRecord:
     notes: str = ""
     metadata: Dict[str, object] = field(default_factory=dict)
 
+    @classmethod
+    def from_result_set(
+        cls,
+        result,
+        spec,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "ExperimentRecord":
+        """Build a record from a registry run's typed ResultSet.
+
+        Provenance rides along in ``metadata`` so the written JSON
+        artefact records how the numbers were produced; explicit
+        ``metadata`` entries (campaign counters, sweeps) are merged in
+        on top.
+        """
+        merged: Dict[str, object] = {}
+        if result.provenance is not None:
+            merged["provenance"] = result.provenance.to_json()
+        if result.run_id:
+            merged["run_id"] = result.run_id
+        merged.update(metadata or {})
+        prov = result.provenance
+        return cls(
+            experiment_id=result.experiment,
+            description=spec.description,
+            scale=prov.scale if prov is not None else "",
+            table=result.to_table(),
+            metadata=merged,
+        )
+
     def render(self) -> str:
         header = (
             f"=== {self.experiment_id} — {self.description} "

@@ -113,6 +113,24 @@ def scaled(scale: ExperimentScale, **overrides) -> ExperimentScale:
     return replace(scale, **overrides)
 
 
+def variant_axes(
+    variant: str,
+    values: Optional[Sequence[float]],
+    defaults: Dict[str, Tuple[float, ...]],
+    titles: Dict[str, str],
+) -> Tuple[Tuple[float, ...], str, str]:
+    """The (values, curve label, title) triple of a crash/loss variant.
+
+    Figures 4 and 5 both come in a crash-probability (a) and a
+    loss-probability (b) flavour; this is the one validation/defaulting
+    path behind both modules' ``_variant_axes``.
+    """
+    if variant not in ("crash", "loss"):
+        raise ValueError(f"variant must be 'crash' or 'loss', got {variant!r}")
+    label = "P" if variant == "crash" else "L"
+    return tuple(values or defaults[variant]), label, titles[variant]
+
+
 def point_grid(
     scale: ExperimentScale, values: Sequence[float]
 ) -> List[Tuple[float, int]]:

@@ -3,46 +3,90 @@
 The paper illustrates Algorithm 5 with ``U = 5``: equal a-priori beliefs
 (case a) become ``[0.04, 0.12, 0.20, 0.28, 0.36]`` after one suspicion
 (case b).  This module regenerates both cases from the implementation.
+
+Each interval row is a campaign task (exact, seed-free), so Table 1 runs
+through the same parallel/cached/registry machinery as every other
+experiment — trivially cheap here, but uniform.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bayesian import BeliefEstimator
+from repro.experiments.campaign import Campaign, TrialSpec
 
 #: The paper's published case-(b) beliefs, for verification.
 PAPER_AFTER_SUSPICION = (0.04, 0.12, 0.20, 0.28, 0.36)
 
+#: Title/headers shared by the text renderer and the registry's
+#: ResultSet aggregation, so both surfaces print the same table.
+TABLE1_TITLE = "Table 1 - adapting failure beliefs after a suspicion"
+TABLE1_HEADERS = ("interval", "P_F|B", "P_B initial", "P_B after suspicion")
 
-def table1_rows(intervals: int = 5) -> List[Tuple[str, float, float, float]]:
-    """Rows: (interval bounds, P_F|B midpoint, initial belief, after one
-    suspicion)."""
+
+def belief_row_task(*, intervals: int, u: int) -> Dict[str, float]:
+    """Campaign task: one belief interval's row of Table 1."""
+    intervals, u = int(intervals), int(u)
     initial = BeliefEstimator(intervals)
     after = BeliefEstimator(intervals)
     after.decrease_reliability(1)
+    lo, hi = initial.interval_bounds(u)
+    return {
+        "lo": float(lo),
+        "hi": float(hi),
+        "midpoint": float(initial.midpoints[u]),
+        "initial": float(initial.beliefs[u]),
+        "after": float(after.beliefs[u]),
+    }
+
+
+BELIEF_FN = "repro.experiments.table1:belief_row_task"
+
+
+def table1_build(intervals: int = 5) -> List[TrialSpec]:
+    """One spec per belief interval."""
+    return [
+        TrialSpec.make(BELIEF_FN, intervals=int(intervals), u=u)
+        for u in range(intervals)
+    ]
+
+
+def table1_aggregate(
+    results: Sequence[Dict[str, float]], intervals: int = 5
+) -> List[Tuple[str, float, float, float]]:
+    """Fold the per-interval results into Table 1's rows."""
     rows = []
-    for u in range(intervals):
-        lo, hi = initial.interval_bounds(u)
+    for u, result in enumerate(results):
+        lo, hi = result["lo"], result["hi"]
+        bounds = (
+            f"[{lo:.1f}, {hi:.1f})" if u < intervals - 1 else f"[{lo:.1f}, {hi:.1f}]"
+        )
         rows.append(
-            (
-                f"[{lo:.1f}, {hi:.1f})" if u < intervals - 1 else f"[{lo:.1f}, {hi:.1f}]",
-                float(initial.midpoints[u]),
-                float(initial.beliefs[u]),
-                float(after.beliefs[u]),
-            )
+            (bounds, result["midpoint"], result["initial"], result["after"])
         )
     return rows
 
 
-def table1_render(intervals: int = 5) -> str:
+def table1_rows(
+    intervals: int = 5, campaign: Optional[Campaign] = None
+) -> List[Tuple[str, float, float, float]]:
+    """Rows: (interval bounds, P_F|B midpoint, initial belief, after one
+    suspicion)."""
+    campaign = campaign or Campaign()
+    return table1_aggregate(campaign.run(table1_build(intervals)), intervals)
+
+
+def table1_render(
+    intervals: int = 5, campaign: Optional[Campaign] = None
+) -> str:
     """Render Table 1 as text (initial vs after-suspicion beliefs)."""
     from repro.util.tables import render_table
 
-    rows = table1_rows(intervals)
+    rows = table1_rows(intervals, campaign=campaign)
     return render_table(
-        headers=["interval", "P_F|B", "P_B initial", "P_B after suspicion"],
+        headers=list(TABLE1_HEADERS),
         rows=[list(r) for r in rows],
-        title="Table 1 - adapting failure beliefs after a suspicion",
+        title=TABLE1_TITLE,
         precision=4,
     )

@@ -48,10 +48,7 @@ Capability flags replace protocol-name special-casing at the call sites:
 from __future__ import annotations
 
 import dataclasses
-import difflib
-import importlib
 import os
-import warnings
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import (
     Any,
@@ -69,14 +66,25 @@ from typing import (
 from repro.core.adaptive import AdaptiveBroadcast, AdaptiveParameters
 from repro.core.knowledge import KnowledgeParameters
 from repro.core.optimal import OptimalBroadcast
-from repro.errors import UnknownProtocolError, ValidationError
+from repro.errors import (
+    UnknownProtocolError,
+    ValidationError,
+    closest_name,
+    did_you_mean,
+)
 from repro.protocols.flooding import FloodingBroadcast
 from repro.protocols.gossip import GossipBroadcast, GossipParameters
 from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
 from repro.sim.monitors import BroadcastMonitor
 from repro.sim.network import Network
+from repro.util.plugins import load_entry_point_plugins, load_env_plugins
 from repro.util.rng import RandomSource
-from repro.util.validation import check_positive, check_positive_int
+from repro.util.validation import (
+    check_positive,
+    check_positive_int,
+    coerce_scalar,
+    unwrap_optional,
+)
 
 #: Entry-point group third-party packages register protocol specs under.
 ENTRY_POINT_GROUP = "repro.protocols"
@@ -323,8 +331,7 @@ class ProtocolSpec:
             names = [f.name for f in dataclass_fields(self.params_type)]
             for key, value in overrides.items():
                 if key not in names:
-                    close = difflib.get_close_matches(key, names, n=1)
-                    hint = f" — did you mean {close[0]!r}?" if close else ""
+                    _, hint = did_you_mean(key, names)
                     raise ValidationError(
                         f"protocol {self.name!r} has no parameter {key!r} "
                         f"(available: {', '.join(names) or 'none'}){hint}"
@@ -347,53 +354,15 @@ class ProtocolSpec:
 
 
 def _type_name(hint: Any) -> str:
-    if get_origin(hint) is Union:
-        args = [a for a in get_args(hint) if a is not type(None)]
-        if len(args) == 1:
-            return f"{_type_name(args[0])}?"
+    base = unwrap_optional(hint)
+    if base is not hint:  # Optional[T] renders as "T?"
+        return f"{_type_name(base)}?"
     return getattr(hint, "__name__", str(hint))
 
 
 def _coerce_value(protocol: str, key: str, hint: Any, value: Any) -> Any:
     """Coerce a sweep/override value to a parameter field's type."""
-    base = hint
-    if get_origin(hint) is Union:  # Optional[T]
-        args = [a for a in get_args(hint) if a is not type(None)]
-        if value is None:
-            return None
-        if len(args) == 1:
-            base = args[0]
-
-    def bad(expected: str) -> ValidationError:
-        return ValidationError(
-            f"protocol parameter {protocol}.{key} takes {expected} "
-            f"values, got {value!r}"
-        )
-
-    if base is bool:
-        if isinstance(value, bool):
-            return value
-        if isinstance(value, (int, float)) and value in (0, 1):
-            return bool(value)
-        if isinstance(value, str) and value.lower() in ("true", "false"):
-            return value.lower() == "true"
-        raise bad("boolean (true/false/0/1)")
-    if base is int:
-        try:
-            number = float(value)
-        except (TypeError, ValueError):
-            raise bad("integer") from None
-        if number != int(number):
-            raise bad("integer")
-        return int(number)
-    if base is float:
-        try:
-            return float(value)
-        except (TypeError, ValueError):
-            raise bad("numeric") from None
-    if base is str:
-        return str(value)
-    return value
+    return coerce_scalar(f"protocol parameter {protocol}.{key}", hint, value)
 
 
 # -- the registry ---------------------------------------------------------------------
@@ -473,9 +442,7 @@ def resolve_protocol(protocol: Union[str, ProtocolSpec]) -> ProtocolSpec:
         discover_plugins()
     canonical = _LOOKUP.get(key)
     if canonical is None:
-        close = difflib.get_close_matches(key, sorted(_LOOKUP), n=1)
-        suggestion = close[0] if close else None
-        hint = f" — did you mean {suggestion!r}?" if suggestion else ""
+        suggestion, hint = did_you_mean(key, _LOOKUP)
         raise UnknownProtocolError(
             f"unknown protocol {protocol!r}; choose from "
             + ", ".join(protocol_names())
@@ -519,8 +486,8 @@ def parse_param_key(key: str) -> Tuple[ProtocolSpec, str]:
         f.name for f in dataclass_fields(spec.params_type)
     }:
         available = [row[0] for row in spec.param_fields()]
-        close = difflib.get_close_matches(param, available, n=1)
-        hint = f" — did you mean {spec.name}.{close[0]}?" if close else ""
+        close = closest_name(param, available)
+        hint = f" — did you mean {spec.name}.{close}?" if close else ""
         raise ValidationError(
             f"protocol {spec.name!r} has no parameter {param!r} "
             f"(available: {', '.join(available) or 'none'}){hint}"
@@ -563,49 +530,15 @@ def discover_plugins(force: bool = False) -> List[str]:
     if _plugins_loaded and not force:
         return []
     _plugins_loaded = True
-    registered: List[str] = []
-
-    from importlib import metadata
-
-    try:
-        entry_points = metadata.entry_points(group=ENTRY_POINT_GROUP)
-    except TypeError:  # Python 3.9: entry_points() returns a dict
-        entry_points = metadata.entry_points().get(ENTRY_POINT_GROUP, [])
-    for entry_point in entry_points:
-        try:
-            registered.extend(
-                _register_plugin_object(
-                    entry_point.load(), f"entry point {entry_point.name!r}"
-                )
-            )
-        except Exception as exc:  # noqa: BLE001 — isolate broken plugins
-            warnings.warn(
-                f"skipping protocol plugin entry point "
-                f"{entry_point.name!r}: {exc}",
-                stacklevel=2,
-            )
-
-    for item in os.environ.get(PLUGIN_ENV, "").split(","):
-        item = item.strip()
-        if not item:
-            continue
-        module_name, _, attr = item.partition(":")
-        try:
-            if not attr:
-                raise ValidationError(
-                    f"{PLUGIN_ENV} items must look like 'module:attr'"
-                )
-            module = importlib.import_module(module_name)
-            registered.extend(
-                _register_plugin_object(
-                    getattr(module, attr), f"{PLUGIN_ENV}={item}"
-                )
-            )
-        except Exception as exc:  # noqa: BLE001 — isolate broken plugins
-            warnings.warn(
-                f"skipping protocol plugin {item!r} from {PLUGIN_ENV}: {exc}",
-                stacklevel=2,
-            )
+    registered = load_entry_point_plugins(
+        ENTRY_POINT_GROUP, _register_plugin_object, kind="protocol"
+    )
+    registered += load_env_plugins(
+        os.environ.get(PLUGIN_ENV, ""),
+        PLUGIN_ENV,
+        _register_plugin_object,
+        kind="protocol",
+    )
     return registered
 
 

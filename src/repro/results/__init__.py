@@ -1,0 +1,42 @@
+"""Durable, queryable experiment results (``repro.results``).
+
+The results layer turns experiment output from rendered text into typed
+data: :class:`ResultSet` records with full :class:`Provenance`, an
+append-only JSONL :class:`ResultStore`, CSV/JSON export, and
+:func:`diff_result_sets` for run-to-run regression checks.  See
+:mod:`repro.results.schema` and :mod:`repro.results.store`.
+"""
+
+from repro.results.schema import (
+    DERIVED_SEED_POLICY,
+    SCHEMA_VERSION,
+    CellDrift,
+    Provenance,
+    ResultDiff,
+    ResultRow,
+    ResultSet,
+    diff_result_sets,
+)
+from repro.results.store import (
+    DEFAULT_STORE_PATH,
+    STORE_PATH_ENV,
+    ResultStore,
+    default_store_path,
+    resolve_result,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DERIVED_SEED_POLICY",
+    "Provenance",
+    "ResultRow",
+    "ResultSet",
+    "CellDrift",
+    "ResultDiff",
+    "diff_result_sets",
+    "ResultStore",
+    "default_store_path",
+    "resolve_result",
+    "DEFAULT_STORE_PATH",
+    "STORE_PATH_ENV",
+]

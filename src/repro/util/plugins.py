@@ -1,0 +1,85 @@
+"""Shared plugin-discovery machinery for the repro registries.
+
+The protocol registry (``repro.protocols``) and the experiment registry
+(``repro.experiments``) both accept third-party specs from the same two
+sources:
+
+* **entry points** — installed packages declare a group
+  (``[project.entry-points."repro.protocols"]`` /
+  ``..."repro.experiments"``) whose members resolve to a spec, a
+  zero-argument callable producing one, or a list of specs;
+* **environment variable** — a comma-separated ``module:attr`` list
+  (``REPRO_PROTOCOLS`` / ``REPRO_EXPERIMENTS``) importable from
+  ``sys.path``, which also reaches spawned campaign workers (the
+  environment is inherited and discovery re-runs on import).
+
+This module owns the loading/isolation logic; each registry supplies a
+``register`` callback that validates and stores whatever a plugin
+produced.  A broken plugin is skipped with a warning rather than taking
+the registry down.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Any, Callable, List
+
+from repro.errors import ValidationError
+
+
+def load_entry_point_plugins(
+    group: str,
+    register: Callable[[Any, str], List[str]],
+    kind: str,
+) -> List[str]:
+    """Register every installed entry point of ``group``; returns new names."""
+    from importlib import metadata
+
+    registered: List[str] = []
+    try:
+        entry_points = metadata.entry_points(group=group)
+    except TypeError:  # Python 3.9: entry_points() returns a dict
+        entry_points = metadata.entry_points().get(group, [])
+    for entry_point in entry_points:
+        try:
+            registered.extend(
+                register(entry_point.load(), f"entry point {entry_point.name!r}")
+            )
+        except Exception as exc:  # noqa: BLE001 — isolate broken plugins
+            warnings.warn(
+                f"skipping {kind} plugin entry point "
+                f"{entry_point.name!r}: {exc}",
+                stacklevel=3,
+            )
+    return registered
+
+
+def load_env_plugins(
+    env_value: str,
+    env_var: str,
+    register: Callable[[Any, str], List[str]],
+    kind: str,
+) -> List[str]:
+    """Register ``module:attr`` items from an environment variable value."""
+    registered: List[str] = []
+    for item in env_value.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        module_name, _, attr = item.partition(":")
+        try:
+            if not attr:
+                raise ValidationError(
+                    f"{env_var} items must look like 'module:attr'"
+                )
+            module = importlib.import_module(module_name)
+            registered.extend(
+                register(getattr(module, attr), f"{env_var}={item}")
+            )
+        except Exception as exc:  # noqa: BLE001 — isolate broken plugins
+            warnings.warn(
+                f"skipping {kind} plugin {item!r} from {env_var}: {exc}",
+                stacklevel=3,
+            )
+    return registered

@@ -76,6 +76,70 @@ def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
     return float(value)
 
 
+def unwrap_optional(hint):
+    """Strip ``Optional[...]`` from a type annotation.
+
+    Returns the inner type of a one-armed ``Optional[T]`` — both the
+    ``typing.Optional`` spelling and the PEP 604 ``T | None`` one; any
+    other annotation (plain types, multi-arm unions) passes through
+    unchanged.  The single unwrap path shared by the protocol and
+    experiment registries' coercion and type-naming helpers.
+    """
+    import types
+    from typing import Union, get_args, get_origin
+
+    origin = get_origin(hint)
+    if origin is Union or origin is getattr(types, "UnionType", None):
+        args = [a for a in get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return hint
+
+
+def coerce_scalar(label: str, hint, value):
+    """Coerce a sweep/override value to a typed parameter field's type.
+
+    ``hint`` is a (possibly ``Optional``) scalar type annotation —
+    ``bool``/``int``/``float``/``str``.  Shared by the protocol and
+    experiment registries so ``--sweep`` values arriving as strings or
+    floats land correctly typed, with one error-message shape:
+    ``"{label} takes integer values, got '2.5'"``.
+    """
+    if value is None:
+        return None
+    base = unwrap_optional(hint)
+
+    def bad(expected: str) -> ValidationError:
+        return ValidationError(
+            f"{label} takes {expected} values, got {value!r}"
+        )
+
+    if base is bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise bad("boolean (true/false/0/1)")
+    if base is int:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            raise bad("integer") from None
+        if number != int(number):
+            raise bad("integer")
+        return int(number)
+    if base is float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise bad("numeric") from None
+    if base is str:
+        return str(value)
+    return value
+
+
 def check_not_empty(items: Iterable, name: str) -> None:
     """Validate that a sized container has at least one element."""
     try:

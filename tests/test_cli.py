@@ -255,6 +255,246 @@ class TestProtocolsCommand:
         assert "two-phase" in out
 
 
+class TestExperimentsCommand:
+    def test_list_shows_artefacts_and_axes(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4a" in out
+        assert "Figure 4(a)" in out
+        assert "connectivity" in out
+        assert "fig4a" in out  # alias column
+
+    def test_describe_shows_axes_and_aliases(self, capsys):
+        assert main(["experiments", "describe", "figure6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "topology" in out
+        assert "fig6" in out
+        assert "simulated" in out
+
+    def test_describe_resolves_aliases(self, capsys):
+        assert main(["experiments", "describe", "tab1"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_describe_unknown_suggests(self, capsys):
+        assert main(["experiments", "describe", "figur1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "did you mean" in err
+
+    def test_run_stores_result(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        argv = [
+            "experiments", "run", "figure1",
+            "--no-cache", "--workers", "1", "--store", store,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "stored as figure1-0001-" in out
+        assert os.path.exists(store)
+
+    def test_run_no_store(self, tmp_path, capsys):
+        argv = [
+            "experiments", "run", "table1", "--no-cache", "--no-store",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "stored as" not in out
+        assert "0.36" in out
+
+    def test_run_unknown_sweep_key_errors(self, capsys):
+        rc = main(
+            [
+                "experiments", "run", "figure1", "--no-cache", "--no-store",
+                "--sweep", "topology=ring",
+            ]
+        )
+        assert rc == 2
+        assert "does not sweep" in capsys.readouterr().err
+
+    def test_bad_sweep_leaves_no_store_behind(self, tmp_path, capsys):
+        store = tmp_path / "new" / "results.jsonl"
+        rc = main(
+            [
+                "experiments", "run", "figure1", "--no-cache",
+                "--store", str(store),
+                "--sweep", "bogus=1",
+            ]
+        )
+        assert rc == 2
+        assert not store.exists()
+        assert not store.parent.exists()
+
+    def test_bad_sweep_value_leaves_no_store_behind(self, tmp_path, capsys):
+        # value-level validation fires inside the run (connectivity<n);
+        # the already-probed empty store must be cleaned up again
+        store = tmp_path / "new" / "results.jsonl"
+        rc = main(
+            [
+                "experiments", "run", "figure4a", "--no-cache",
+                "--scale", "quick",
+                "--store", str(store),
+                "--sweep", "connectivity=99",
+            ]
+        )
+        assert rc == 2
+        assert "must be below n=" in capsys.readouterr().err
+        assert not store.exists()
+        assert not store.parent.exists()
+
+    def test_run_matches_legacy_command(self, tmp_path, capsys):
+        assert main(["figure1"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(
+            ["experiments", "run", "figure1", "--no-cache", "--no-store"]
+        ) == 0
+        registry_out = capsys.readouterr().out
+        assert registry_out.split("\ncampaign:")[0].rstrip("\n") == \
+            legacy.rstrip("\n")
+
+
+class TestResultsCommand:
+    def _store_two_runs(self, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        argv = [
+            "experiments", "run", "figure1",
+            "--no-cache", "--store", store,
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        return store
+
+    def test_show_lists_runs(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "show", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "figure1-0001-" in out
+        assert "figure1-0002-" in out
+        assert "2 run(s)" in out
+
+    def test_show_single_run_prints_provenance(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "show", "--store", store]) == 0
+        run_id = [
+            token
+            for token in capsys.readouterr().out.split()
+            if token.startswith("figure1-0001-")
+        ][0]
+        assert main(["results", "show", run_id, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "seed:" in out
+        assert "schema v1" in out
+
+    def test_show_unknown_run_errors(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "show", "nope", "--store", store]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_show_empty_store(self, tmp_path, capsys):
+        store = str(tmp_path / "empty.jsonl")
+        assert main(["results", "show", "--store", store]) == 0
+        assert "no stored runs" in capsys.readouterr().out
+
+    def test_diff_latest_two_zero_drift(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        rc = main(
+            ["results", "diff", "--experiment", "figure1", "--store", store]
+        )
+        assert rc == 0
+        assert "zero drift" in capsys.readouterr().out
+
+    def test_diff_reports_drift_with_exit_1(self, tmp_path, capsys):
+        import json
+
+        store = self._store_two_runs(tmp_path)
+        # perturb the second stored run's first data cell
+        lines = open(store).read().splitlines()
+        record = json.loads(lines[1])
+        record["rows"][0][1] = record["rows"][0][1] + 1.0
+        lines[1] = json.dumps(record)
+        with open(store, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        capsys.readouterr()
+        rc = main(
+            ["results", "diff", "--experiment", "figure1", "--store", store]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "drifted" in out
+        # a generous tolerance accepts the same pair
+        rc = main(
+            [
+                "results", "diff", "--experiment", "figure1",
+                "--store", store, "--tolerance", "2.0",
+            ]
+        )
+        assert rc == 0
+
+    def test_diff_by_run_ids(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "show", "--store", store]) == 0
+        tokens = capsys.readouterr().out.split()
+        ids = [t for t in tokens if t.startswith("figure1-00")]
+        rc = main(["results", "diff", ids[0], ids[1], "--store", store])
+        assert rc == 0
+
+    def test_diff_without_selection_errors(self, tmp_path, capsys):
+        store = str(tmp_path / "empty.jsonl")
+        assert main(["results", "diff", "--store", store]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_diff_needs_two_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "one.jsonl")
+        assert main(
+            ["experiments", "run", "table1", "--no-cache", "--store", store]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            ["results", "diff", "--experiment", "table1", "--store", store]
+        )
+        assert rc == 2
+        assert "need two stored runs" in capsys.readouterr().err
+
+    def test_export_csv(self, tmp_path, capsys):
+        store = self._store_two_runs(tmp_path)
+        out_file = str(tmp_path / "export.csv")
+        capsys.readouterr()
+        assert main(
+            [
+                "results", "export", "--store", store,
+                "--format", "csv", "--out", out_file,
+            ]
+        ) == 0
+        text = open(out_file).read()
+        assert text.startswith("run_id,experiment,scale,alpha")
+        assert "figure1-0001-" in text
+
+    def test_export_json_to_stdout(self, tmp_path, capsys):
+        import json
+
+        store = self._store_two_runs(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["results", "export", "--store", store, "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+
+    def test_top_level_list_mentions_experiments_and_results(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments list|describe|run" in out
+        assert "results show|export|diff" in out
+        assert "Figure 4(a)" in out
+
+
 class TestScenarioProtocolSweeps:
     def test_run_accepts_alias_and_param_sweep(self, tmp_path, capsys):
         rc = main(
