@@ -13,7 +13,6 @@
    bursty Markov outages with the same stationary down fraction.
 """
 
-import pytest
 
 from repro.analysis.convergence import ConvergenceCriterion
 from repro.experiments.figure4 import figure4_point

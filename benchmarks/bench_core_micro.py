@@ -1,12 +1,20 @@
 """Micro-benchmarks of the core algorithmic kernels at paper scale.
 
 These are throughput benchmarks (pytest-benchmark statistics matter),
-not figure regenerations: MRT construction, greedy optimisation, the
-reach evaluation and the vectorised heartbeat merge on a 100-process,
-connectivity-20 system — the heaviest configuration of Section 5.
+not figure regenerations: the discrete-event engine's raw event
+throughput, the per-message network delivery path, MRT construction,
+greedy optimisation, the reach evaluation and the vectorised heartbeat
+merge on a 100-process, connectivity-20 system — the heaviest
+configuration of Section 5.
+
+The engine/network benches reuse the exact workloads of ``repro bench``
+(:mod:`repro.benchrunner`), so their numbers line up with the committed
+``BENCH_core.json`` baseline the CI perf gate compares against.
 """
 
 import pytest
+
+from repro.benchrunner import bench_engine_events, bench_network_delivery
 
 from repro.core.knowledge import KnowledgeParameters
 from repro.core.mrt import maximum_reliability_tree
@@ -34,6 +42,20 @@ def paper_config(paper_graph):
         crash_range=(0.0, 0.05),
         loss_range=(0.0, 0.07),
     )
+
+
+def test_engine_event_throughput(benchmark, track_events, scale):
+    """Kernel event throughput: timer chains + cancellations, no network."""
+    raw = benchmark(lambda: bench_engine_events(scale.name))
+    track_events(int(raw["events"]), raw["wall_s"])
+    assert raw["events"] > 0
+
+
+def test_network_delivery_throughput(benchmark, track_events, scale):
+    """Per-message path: send → crash/loss/latency draws → delivery."""
+    raw = benchmark(lambda: bench_network_delivery(scale.name))
+    track_events(int(raw["events"]), raw["wall_s"])
+    assert raw["messages"] > 0
 
 
 def test_mrt_construction(benchmark, paper_graph, paper_config):

@@ -9,7 +9,6 @@
    convergence with application traffic carrying snapshots.
 """
 
-import pytest
 
 from repro.core.bayesian import BeliefEstimator
 from repro.core.refinement import AdaptiveResolutionEstimator

@@ -6,7 +6,7 @@ alpha in [1, 10] and benchmarks the closed-form computation.
 
 import pytest
 
-from repro.analysis.two_paths import message_ratio, simulate_two_paths
+from repro.analysis.two_paths import simulate_two_paths
 from repro.experiments.figure1 import figure1_table
 from repro.util.rng import RandomSource
 

@@ -11,7 +11,6 @@ At the default bench scale (n=30, K=0.99) the ratios are smaller but the
 growth with connectivity and the ordering across P/L values hold.
 """
 
-import pytest
 
 from repro.experiments.figure4 import figure4_table
 from repro.experiments.runner import scaled

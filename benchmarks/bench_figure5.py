@@ -10,7 +10,6 @@ larger probabilities take longer, and in 5(b) the L=0.05 curve is the
 slowest (links are numerous and lossy links are harder to pin down).
 """
 
-import pytest
 
 from repro.experiments.figure5 import figure5_table
 from repro.experiments.runner import scaled

@@ -5,7 +5,6 @@ n=100..240): the ring's messages/link grows roughly linearly with n
 (information traverses ~n/2 hops), while random trees stay nearly flat.
 """
 
-import pytest
 
 from repro.experiments.figure6 import figure6_table
 

@@ -8,12 +8,20 @@ contains the figures), and persists text+JSON artefacts under
 The session additionally emits ``results/BENCH_scenarios.json`` — a
 machine-readable summary of every benchmark that ran (wall time per
 bench, plus trial throughput for benches that report their trial count
-through the ``track_trials`` fixture) — so the performance trajectory is
-comparable across commits.  Selective runs merge into the existing file
-(per-entry, this session winning per nodeid) instead of clobbering it;
-every entry records the scale it was measured at, so mixed-scale
-summaries stay interpretable.  Delete the file for a from-scratch
-summary (stale entries of renamed benches persist until then).
+through the ``track_trials`` fixture and event throughput via
+``track_events``) — so the performance trajectory is comparable across
+commits.  Selective runs merge into the existing file (per-entry, this
+session winning per nodeid) instead of clobbering it; every entry
+records the scale it was measured at, so mixed-scale summaries stay
+interpretable.  Delete the file for a from-scratch summary (stale
+entries of renamed benches persist until then).
+
+The same per-bench records are *also* merged into the repo-root
+``BENCH_core.json`` (the ``repro bench`` summary format, nodeid-keyed
+entries alongside the named runner benches), so the cross-commit
+performance trajectory lives in one committed file.  The CI perf gate
+only compares entries present in both baseline and fresh summary, so
+pytest-bench entries ride along informationally.
 
 Scale control: set ``REPRO_BENCH_SCALE`` to ``quick`` / ``default`` /
 ``full`` (paper-sized: n=100, K=0.9999) before running.
@@ -34,6 +42,12 @@ from repro.experiments.runner import SCALE_ENV, current_scale
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 SUMMARY_PATH = os.path.join(RESULTS_DIR, "BENCH_scenarios.json")
+
+#: The repo-root cross-commit summary (``repro bench`` format).
+CORE_SUMMARY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_core.json",
+)
 
 #: nodeid -> {"wall_s": float, "trials": Optional[int]} for this session.
 _BENCH_RECORDS: dict = {}
@@ -84,12 +98,32 @@ def track_trials(request):
     return _track
 
 
+@pytest.fixture
+def track_events(request):
+    """Report a bench's simulation-event count and measured wall time.
+
+    ``track_events(events, wall_s)`` records the bench's own timed run
+    (not the pytest ``call`` duration, which includes pytest-benchmark's
+    calibration repeats), so the summary's ``events_per_s`` matches what
+    one workload execution actually sustained.
+    """
+
+    def _track(events: int, wall_s: float) -> None:
+        request.node.user_properties.append(("events", int(events)))
+        request.node.user_properties.append(("events_wall_s", float(wall_s)))
+
+    return _track
+
+
 def pytest_runtest_logreport(report):
     """Collect per-bench wall time (call phase only) for the summary."""
     if report.when != "call" or not report.passed:
         return
-    trials = dict(report.user_properties).get("trials")
-    _BENCH_RECORDS[report.nodeid] = {
+    properties = dict(report.user_properties)
+    trials = properties.get("trials")
+    events = properties.get("events")
+    events_wall = properties.get("events_wall_s") or report.duration
+    record = {
         "wall_s": round(report.duration, 4),
         # scale is per entry, not per file: merged summaries may mix
         # sessions run at different scales, and a wall time is only
@@ -102,6 +136,12 @@ def pytest_runtest_logreport(report):
             else None
         ),
     }
+    if events:
+        record["events"] = events
+        record["events_per_s"] = (
+            round(events / events_wall, 1) if events_wall > 0 else None
+        )
+    _BENCH_RECORDS[report.nodeid] = record
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -135,3 +175,33 @@ def pytest_sessionfinish(session, exitstatus):
     with open(SUMMARY_PATH, "w", encoding="utf-8") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    _merge_into_core_summary()
+
+
+def _merge_into_core_summary():
+    """Fold this session's records into the repo-root ``BENCH_core.json``.
+
+    The root file is the cross-commit performance trajectory: the named
+    ``repro bench`` runner entries plus these nodeid-keyed pytest-bench
+    entries, merged per key so selective sessions never clobber the
+    rest.  Entries drop the ``None``-valued fields (the runner format
+    omits absent metrics rather than nulling them).
+    """
+    from repro.benchrunner import SCHEMA_VERSION, write_summary
+
+    benchmarks = {}
+    for nodeid, record in _BENCH_RECORDS.items():
+        benchmarks[nodeid] = {
+            k: v for k, v in record.items() if v is not None
+        }
+    summary = {
+        "schema": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "scale": os.environ.get(SCALE_ENV, "default"),
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+    try:
+        write_summary(summary, CORE_SUMMARY_PATH)
+    except OSError as exc:  # pragma: no cover - read-only checkout
+        print(f"warning: could not update {CORE_SUMMARY_PATH}: {exc}")

@@ -21,14 +21,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.knowledge import ProcessView
 from repro.core.viewtable import VectorView
 from repro.topology.configuration import Configuration
-from repro.types import Link, ProcessId
+from repro.types import Link
 
 ViewLike = Union[ProcessView, VectorView]
 
@@ -187,7 +187,7 @@ def estimate_errors(
         "process_mae": proc_err / graph.n,
         "link_mae": link_err / max(graph.link_count, 1),
         "known_links": float(
-            sum(1 for l in graph.links if view.knows_link(l))
+            sum(1 for link in graph.links if view.knows_link(link))
         ),
     }
 

@@ -13,7 +13,7 @@ Independent cross-checks used by the test-suite and the ablation benches:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.mrt import link_weight, maximum_reliability_tree
 from repro.core.optimize import optimize

@@ -31,6 +31,10 @@ Usage::
     python -m repro scenario run wan-brownout --protocols adaptive,optimal,gossip
     python -m repro scenario run burst-storm --sweep gossip.rounds=4,8
 
+    # hot-path benchmarks + the performance regression gate
+    python -m repro bench --scale quick
+    python -m repro bench compare BENCH_core.json fresh.json --max-regression 0.25
+
     # the protocol registry (built-ins + plugins)
     python -m repro protocols list
     python -m repro protocols describe two-phase
@@ -86,7 +90,7 @@ from repro.util.tables import render_table
 #: Fixed subcommand names a registered experiment may never shadow.
 _RESERVED_COMMANDS = frozenset(
     ("list", "demo", "protocols", "experiments", "results", "campaign",
-     "scenario")
+     "scenario", "bench")
 )
 
 
@@ -358,6 +362,63 @@ def make_parser() -> argparse.ArgumentParser:
         sweep_help=(
             "override one sweep axis; repeatable (e.g. --sweep "
             "connectivity=2,4,8 --sweep loss=0.01,0.05 --sweep topology=tree)"
+        ),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path benchmarks + the performance regression gate",
+        description=(
+            "Run the core benchmark suite (engine event throughput, "
+            "network delivery path, scenario and figure trial "
+            "throughput) and write a machine-readable summary — by "
+            "convention the repo-root BENCH_core.json.  'bench compare' "
+            "diffs two summaries with a relative-tolerance threshold "
+            "and exits non-zero on regression; CI gates on it."
+        ),
+    )
+    bench.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default="quick",
+        help="benchmark workload size (default: quick)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed runs per bench; the fastest wins (default: 3)",
+    )
+    bench.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="NAME",
+        dest="benches",
+        help="run only this bench; repeatable (default: all)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="summary path (default: ./BENCH_core.json; merges selective runs)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=False)
+    bench_cmp = bench_sub.add_parser(
+        "compare",
+        help="diff two bench summaries; non-zero exit on regression",
+    )
+    bench_cmp.add_argument("baseline", metavar="BASELINE.json")
+    bench_cmp.add_argument("current", metavar="CURRENT.json")
+    bench_cmp.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help=(
+            "allowed relative throughput drop before failing "
+            "(default: 0.25 = fail below 75%% of baseline)"
         ),
     )
 
@@ -768,6 +829,10 @@ def _run_list() -> int:
         "(capability flags, params, plugins)"
     )
     _print_protocol_table()
+    print(
+        "\nbench [compare]  hot-path benchmarks -> BENCH_core.json "
+        "(CI regression gate)"
+    )
     print("\ndemo  30-second optimal-vs-gossip demo")
     return 0
 
@@ -788,7 +853,7 @@ def _run_protocols(args: argparse.Namespace) -> int:
         print(
             "\n  'repro protocols describe <name>' for params and aliases; "
             "plugins register via the 'repro.protocols' entry-point group "
-            f"or REPRO_PROTOCOLS"
+            "or REPRO_PROTOCOLS"
         )
         return 0
     try:
@@ -842,6 +907,46 @@ def _scenario_sweep_combos(sweeps: Dict[str, List]) -> List[Dict]:
             {**combo, key: value} for combo in combos for value in values
         ]
     return combos
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro bench [run options]`` / ``repro bench compare A B``."""
+    from repro.benchrunner import (
+        DEFAULT_SUMMARY,
+        compare_summaries,
+        load_summary,
+        render_summary,
+        run_benches,
+        write_summary,
+    )
+
+    if getattr(args, "bench_command", None) == "compare":
+        try:
+            baseline = load_summary(args.baseline)
+            current = load_summary(args.current)
+            report, regressions = compare_summaries(
+                baseline, current, max_regression=args.max_regression
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        return 1 if regressions else 0
+
+    try:
+        summary = run_benches(
+            scale_name=args.scale,
+            repeats=args.repeats,
+            names=args.benches or None,
+        )
+        out = args.out or DEFAULT_SUMMARY
+        write_summary(summary, out)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summary))
+    print(f"\nsummary written to {out}")
+    return 0
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -937,6 +1042,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign(args)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "bench":
+        return _run_bench(args)
     return _run_registry_experiment(args)
 
 

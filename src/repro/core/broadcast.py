@@ -11,8 +11,8 @@ the paper does.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Set, Tuple
 
 from repro.core.tree import SpanningTree
 from repro.sim.monitors import BroadcastMonitor

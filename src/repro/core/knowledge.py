@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.bayesian import DEFAULT_INTERVALS
 from repro.core.estimates import UNKNOWN_DISTORTION, Estimate, select_best_estimate

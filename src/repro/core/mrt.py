@@ -12,7 +12,7 @@ Section 3.1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set
 
 from repro.errors import DisconnectedGraphError, UnknownProcessError
 from repro.core.tree import ReliabilityView, SpanningTree

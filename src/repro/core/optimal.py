@@ -14,7 +14,7 @@ Figure 4.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any
 
 from repro.core.broadcast import DataMessage, MessageId, ReliableBroadcastProcess
 from repro.core.mrt import maximum_reliability_tree

@@ -14,7 +14,7 @@ for the adaptive one.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import TreeError
 from repro.types import Link, ProcessId
@@ -232,7 +232,7 @@ class SpanningTree:
         if len(parent) != len(links):
             raise TreeError(
                 f"{len(links)} links but only {len(parent)} reachable "
-                f"non-root nodes: not a tree on the root's component"
+                "non-root nodes: not a tree on the root's component"
             )
         return cls(root, parent)
 

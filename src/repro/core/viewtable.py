@@ -21,7 +21,7 @@ incremental ``Lambda_k`` discovery semantics are preserved exactly.
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 

@@ -32,7 +32,7 @@ Third-party packages register experiments exactly like protocols:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import (
     Any,
     Callable,
@@ -388,7 +388,7 @@ def register_experiment(
     """
     if not isinstance(spec, ExperimentSpec):
         raise ValidationError(
-            f"register_experiment takes an ExperimentSpec, "
+            "register_experiment takes an ExperimentSpec, "
             f"got {type(spec).__name__}"
         )
     name = _norm(spec.name)

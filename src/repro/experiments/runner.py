@@ -10,14 +10,13 @@ paths share.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkOptions
 from repro.topology.configuration import Configuration
-from repro.topology.graph import Graph
 from repro.util.rng import RandomSource, SeedLike
 from repro.util.stats import OnlineStats
 

@@ -11,11 +11,9 @@ protocols close.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.broadcast import MessageId, ReliableBroadcastProcess
-from repro.sim.monitors import BroadcastMonitor
-from repro.sim.network import Network
 from repro.sim.trace import MessageCategory
 from repro.types import ProcessId
 

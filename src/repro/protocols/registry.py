@@ -58,8 +58,6 @@ from typing import (
     Optional,
     Tuple,
     Union,
-    get_args,
-    get_origin,
     get_type_hints,
 )
 

@@ -12,7 +12,7 @@ reliability knowledge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Optional
 
 from repro.core.broadcast import MessageId, ReliableBroadcastProcess
 from repro.sim.monitors import BroadcastMonitor

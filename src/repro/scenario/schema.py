@@ -140,7 +140,7 @@ class TopologySpec:
         # two_tier
         if self.n % self.clusters != 0:
             raise ValidationError(
-                f"two_tier needs n divisible by clusters, "
+                "two_tier needs n divisible by clusters, "
                 f"got n={self.n}, clusters={self.clusters}"
             )
         graph, lan_links, wan_links = two_tier(

@@ -41,7 +41,7 @@ Metrics:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.convergence import ConvergenceCriterion, views_converged
 from repro.errors import UnreachableTargetError, ValidationError

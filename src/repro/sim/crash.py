@@ -16,14 +16,13 @@ storage semantics.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.types import ProcessId
 from repro.util.rng import RandomSource
-from repro.util.validation import check_open_probability, check_probability
 
 
 class CrashModel(abc.ABC):
@@ -31,8 +30,12 @@ class CrashModel(abc.ABC):
 
     A *step* is one send or one receive attempt (per §2.1, a normal step
     carries at most one message).  ``crashed_step`` is consulted by the
-    network at each transmission endpoint.
+    network at each transmission endpoint — it is one of the hottest
+    calls in the simulator, so the concrete models batch their RNG draws
+    (bit-identical to single draws) and carry ``__slots__``.
     """
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def crashed_step(self, p: ProcessId, now: float) -> bool:
@@ -53,6 +56,8 @@ class CrashModel(abc.ABC):
 class NoCrashModel(CrashModel):
     """All processes are always up (``P_i = 0``)."""
 
+    __slots__ = ()
+
     def crashed_step(self, p: ProcessId, now: float) -> bool:
         return False
 
@@ -69,6 +74,8 @@ class IidCrashModel(CrashModel):
         rng: deterministic stream for the draws.
     """
 
+    __slots__ = ("_probs", "_prob_list", "_draw")
+
     def __init__(self, crash_probabilities: np.ndarray, rng: RandomSource) -> None:
         probs = np.asarray(crash_probabilities, dtype=float)
         if probs.ndim != 1:
@@ -76,15 +83,19 @@ class IidCrashModel(CrashModel):
         if np.any(np.isnan(probs)) or np.any(probs < 0) or np.any(probs > 1):
             raise ValidationError("crash probabilities must be in [0, 1]")
         self._probs = probs
-        self._rng = rng.child("iid-crash")
+        # python-float copy for the per-step lookup (no numpy scalar
+        # boxing per call) and block-buffered draws off the same child
+        # stream single draws always used — values are bit-identical
+        self._prob_list = probs.tolist()
+        self._draw = rng.child("iid-crash").buffered()
 
     def crashed_step(self, p: ProcessId, now: float) -> bool:
-        prob = float(self._probs[p])
+        prob = self._prob_list[p]
         if prob <= 0.0:
             return False
         if prob >= 1.0:
             return True
-        return self._rng.random() < prob
+        return self._draw.next() < prob
 
     def down_fraction(self, p: ProcessId) -> float:
         return float(self._probs[p])
@@ -106,6 +117,19 @@ class MarkovCrashModel(CrashModel):
     ``on_recover`` callbacks — the recovery callback carries the number of
     whole ticks spent down, feeding Event 4 of Algorithm 4.
     """
+
+    __slots__ = (
+        "_probs",
+        "_p_repair",
+        "_p_fail",
+        "_p_fail_list",
+        "_draw",
+        "_down",
+        "_last_tick",
+        "_down_since",
+        "_on_crash",
+        "_on_recover",
+    )
 
     def __init__(
         self,
@@ -133,9 +157,12 @@ class MarkovCrashModel(CrashModel):
         self._p_fail = np.where(
             probs > 0, probs * self._p_repair / (1.0 - probs), 0.0
         )
+        self._p_fail_list = self._p_fail.tolist()
         if start_time < 0.0:
             raise ValidationError(f"start_time must be >= 0, got {start_time}")
-        self._rng = rng.child("markov-crash")
+        # buffered draws off the same child stream the per-tick single
+        # draws always consumed — bit-identical values in the same order
+        self._draw = rng.child("markov-crash").buffered()
         self._down = np.zeros(len(probs), dtype=bool)
         # a model created mid-run (scenario burst toggles, mid-run
         # reconfiguration) starts all-up *at that instant* — advancing
@@ -148,20 +175,21 @@ class MarkovCrashModel(CrashModel):
 
     def _advance(self, p: ProcessId, now: float) -> None:
         tick_now = int(now)
-        ticks = tick_now - int(self._last_tick[p])
-        if ticks <= 0:
+        last_tick = int(self._last_tick[p])
+        if tick_now <= last_tick:
             return
-        p_fail = float(self._p_fail[p])
+        p_fail = self._p_fail_list[p]
         p_repair = self._p_repair
         down = bool(self._down[p])
-        for t in range(int(self._last_tick[p]) + 1, tick_now + 1):
+        draw = self._draw.next
+        for t in range(last_tick + 1, tick_now + 1):
             if down:
-                if self._rng.random() < p_repair:
+                if draw() < p_repair:
                     down = False
                     if self._on_recover is not None:
                         self._on_recover(p, float(t), t - int(self._down_since[p]))
             else:
-                if p_fail > 0.0 and self._rng.random() < p_fail:
+                if p_fail > 0.0 and draw() < p_fail:
                     down = True
                     self._down_since[p] = t
                     if self._on_crash is not None:

@@ -57,6 +57,21 @@ class DynamicsDriver:
     schedule the events; the engine then applies them at their times.
     """
 
+    __slots__ = (
+        "_network",
+        "_base",
+        "_base_options",
+        "_graph",
+        "_name",
+        "_tiers",
+        "_timeline",
+        "_loss_overlay",
+        "_crash_overlay",
+        "_applied",
+        "_installed",
+        "_event_index",
+    )
+
     def __init__(
         self,
         network: Network,
@@ -70,7 +85,7 @@ class DynamicsDriver:
         self._graph = network.graph
         self._name = name
         self._tiers: Dict[str, Tuple[Link, ...]] = {
-            key: tuple(Link.of(*l) for l in links)
+            key: tuple(Link.of(*link) for link in links)
             for key, links in (tiers or {}).items()
         }
         for event in timeline:
@@ -152,7 +167,7 @@ class DynamicsDriver:
         links drawn from :meth:`selection_rng`).
         """
         if links:
-            return tuple(Link.of(*l) for l in links)
+            return tuple(Link.of(*link) for link in links)
         if selector == "all":
             return tuple(self._graph.links)
         if selector == "random":

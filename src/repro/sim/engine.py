@@ -1,24 +1,34 @@
 """The discrete-event simulation kernel.
 
-A classic calendar-queue-free design: a binary heap of
-:class:`repro.sim.events.Event` ordered by ``(time, priority, seq)``.
+A classic calendar-queue-free design: a binary heap of plain
+``(time, priority, seq, event)`` tuples ordered by their first three
+fields.  Storing native tuples (rather than rich event objects) keeps
+every ``heappush``/``heappop`` comparison inside CPython's C tuple
+comparator — no Python-level ``__lt__`` calls on the hot path.
 Cancellation is lazy (events are flagged and skipped on pop), which keeps
 both scheduling and cancelling O(log n) / O(1).
 
 Determinism: given the same schedule calls in the same order, the engine
 executes callbacks in exactly the same order — simultaneous events tie-break
-on priority then insertion sequence.  All randomness lives in the protocols'
-:class:`repro.util.rng.RandomSource` streams, never in the engine.
+on priority then insertion sequence, and ``seq`` is unique per simulator so
+tuple comparison never reaches the (incomparable) event slot.  All
+randomness lives in the protocols' :class:`repro.util.rng.RandomSource`
+streams, never in the engine.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.events import DEFAULT_PRIORITY, Event, TraceRecord
+
+_INF = math.inf
+
+#: One queued entry: ``(time, priority, seq, event)``.
+QueueEntry = Tuple[float, int, int, Event]
 
 
 class EventHandle:
@@ -53,9 +63,20 @@ class Simulator:
         [2.0]
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_running",
+        "_stopped",
+        "_executed",
+        "_trace_enabled",
+        "_trace",
+    )
+
     def __init__(self, trace: bool = False) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[QueueEntry] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -72,13 +93,23 @@ class Simulator:
 
     @property
     def executed_events(self) -> int:
-        """Number of callbacks executed so far."""
+        """Number of callbacks executed so far.
+
+        Inside :meth:`run` the count is folded in when the loop exits, so
+        a callback reading this property mid-run sees the value as of the
+        loop's entry; :meth:`step` updates it per event.
+        """
         return self._executed
 
     @property
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether this simulator records an execution trace."""
+        return self._trace_enabled
 
     @property
     def trace(self) -> List[TraceRecord]:
@@ -99,9 +130,20 @@ class Simulator:
         Raises:
             SchedulingError: on negative, NaN or infinite delay.
         """
-        if math.isnan(delay) or math.isinf(delay) or delay < 0.0:
+        # `delay != delay` is the NaN test; spelled inline (instead of
+        # math.isnan/math.isinf) to keep this per-message path call-free
+        if delay < 0.0 or delay != delay or delay == _INF:
             raise SchedulingError(f"invalid delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, name, priority)
+        time = self._now + delay
+        if time == _INF:
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now!r})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, name)
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        return EventHandle(event)
 
     def schedule_at(
         self,
@@ -115,19 +157,14 @@ class Simulator:
         Raises:
             SchedulingError: if ``time`` is in the past or not finite.
         """
-        if math.isnan(time) or math.isinf(time) or time < self._now:
+        if time < self._now or time != time or time == _INF:
             raise SchedulingError(
                 f"cannot schedule at t={time!r} (now={self._now!r})"
             )
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=self._seq,
-            callback=callback,
-            name=name,
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, name)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return EventHandle(event)
 
     # -- execution ----------------------------------------------------------------
@@ -142,11 +179,13 @@ class Simulator:
         Returns:
             ``True`` if an event ran, ``False`` if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[3]
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = entry[0]
             if self._trace_enabled:
                 self._trace.append(TraceRecord(self._now, "exec", event.name))
             self._executed += 1
@@ -173,19 +212,38 @@ class Simulator:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
-        budget = math.inf if max_events is None else max_events
+        # the hot loop: everything loop-invariant is a local, the heap
+        # entry is unpacked positionally, and the trace branch reduces to
+        # one predictable jump when tracing is off.  `remaining` counts
+        # down to 0; -1 (no limit) decrements forever without triggering.
+        queue = self._queue
+        pop = heapq.heappop
+        limit = _INF if until is None else until
+        # a negative budget means "none left" (matches the old `> 0`
+        # guard): clamp to 0 so the loop below runs nothing
+        remaining = -1 if max_events is None else max(0, max_events)
+        tracing = self._trace_enabled
+        trace_append = self._trace.append
+        executed = 0
         try:
-            while self._queue and budget > 0 and not self._stopped:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and remaining != 0 and not self._stopped:
+                entry = queue[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(queue)
                     continue
-                if until is not None and head.time > until:
+                time = entry[0]
+                if time > limit:
                     break
-                if not self.step():
-                    break
-                budget -= 1
+                pop(queue)
+                self._now = time
+                if tracing:
+                    trace_append(TraceRecord(time, "exec", event.name))
+                executed += 1
+                event.callback()
+                remaining -= 1
         finally:
+            self._executed += executed
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until

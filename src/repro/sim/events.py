@@ -4,11 +4,18 @@ Events are ordered by ``(time, priority, seq)``: earlier time first, then
 explicit priority, then insertion order — so simultaneous events run in a
 deterministic, insertion-stable order, which keeps seeded experiments
 exactly reproducible.
+
+Hot-path note: the engine's heap stores plain ``(time, priority, seq,
+event)`` tuples, so ``heapq`` compares native tuples and never calls into
+:class:`Event` during push/pop.  ``Event`` itself is a ``__slots__``
+record (no per-instance dict, no dataclass machinery); it still defines
+the full ``(time, priority, seq)`` ordering protocol for direct
+``sorted()`` use in tests and diagnostics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Tuple
 
 #: Default event priority; lower runs first among simultaneous events.
@@ -24,20 +31,30 @@ DELIVERY_PRIORITY = 10
 DYNAMICS_PRIORITY = -10
 
 
-@dataclass(order=True)
 class Event:
     """One scheduled callback.
 
-    Only the sort key participates in ordering; the callback and metadata
-    are comparison-excluded so arbitrary callables can be scheduled.
+    Only the ``(time, priority, seq)`` key participates in ordering; the
+    callback and metadata are comparison-excluded so arbitrary callables
+    can be scheduled.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
 
     @property
     def key(self) -> Tuple[float, int, int]:
@@ -46,6 +63,35 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so the engine skips it (O(1), lazy removal)."""
         self.cancelled = True
+
+    # ordering protocol on the sort key (mirrors the former
+    # ``@dataclass(order=True)`` semantics, including unhashability)
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.key == other.key
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.key < other.key
+
+    def __le__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.key <= other.key
+
+    def __gt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.key > other.key
+
+    def __ge__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.key >= other.key
 
     def __repr__(self) -> str:  # pragma: no cover - debug sugar
         state = "cancelled" if self.cancelled else "pending"

@@ -9,12 +9,16 @@ default small constant latency merely sequences deliveries after sends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.errors import UnknownLinkError, ValidationError
 from repro.topology.configuration import Configuration
 from repro.types import Link, ProcessId
-from repro.util.rng import RandomSource
+from repro.util.rng import BufferedUniforms, RandomSource
+
+#: One cached directed-pair entry: (loss probability, buffered stream or
+#: None when the loss is degenerate and no draw is ever needed).
+_LinkEntry = Tuple[float, Optional[BufferedUniforms]]
 
 
 @dataclass(frozen=True)
@@ -40,21 +44,45 @@ class LossyLinkLayer:
     One child random stream per link keeps outcomes independent of the
     order in which other links transmit — crucial for reproducibility
     when protocols are refactored.
+
+    Hot-path layout: the first transmission over a directed pair
+    validates the link and materialises a ``(loss, draw)`` entry under
+    both ``(u, v)`` and ``(v, u)``; later transmissions are one dict hit
+    plus one buffered draw.  Both directions share the *same* buffered
+    stream (keyed by the undirected link id), exactly as the unbuffered
+    per-link streams always did, and the configuration behind the cached
+    loss probabilities is immutable — reconfiguration builds a fresh
+    layer.
     """
+
+    __slots__ = ("_config", "_graph", "_root", "_cache")
 
     def __init__(self, config: Configuration, rng: RandomSource) -> None:
         self._config = config
         self._graph = config.graph
         self._root = rng.child("link-layer")
-        self._streams: Dict[int, RandomSource] = {}
+        self._cache: Dict[Tuple[ProcessId, ProcessId], _LinkEntry] = {}
 
-    def _stream(self, link: Link) -> RandomSource:
-        idx = self._graph.link_id(link)
-        stream = self._streams.get(idx)
-        if stream is None:
-            stream = self._root.child("loss", idx)
-            self._streams[idx] = stream
-        return stream
+    def _materialize(
+        self, sender: ProcessId, receiver: ProcessId
+    ) -> _LinkEntry:
+        """Validate one directed pair and cache its (loss, draw) entry."""
+        if not self._graph.has_link(sender, receiver):
+            raise UnknownLinkError(
+                f"no link between {sender} and {receiver}"
+            )
+        link = Link.of(sender, receiver)
+        loss = self._config.loss_probability(link)
+        draw = None
+        if 0.0 < loss < 1.0:
+            # same child labels the unbuffered per-link streams used, so
+            # the draw sequence is bit-identical
+            idx = self._graph.link_id(link)
+            draw = self._root.child("loss", idx).buffered()
+        entry = (loss, draw)
+        self._cache[(sender, receiver)] = entry
+        self._cache[(receiver, sender)] = entry
+        return entry
 
     def loss_probability(self, link: Link) -> float:
         return self._config.loss_probability(link)
@@ -65,14 +93,10 @@ class LossyLinkLayer:
         Raises:
             UnknownLinkError: if the processes are not neighbours.
         """
-        if not self._graph.has_link(sender, receiver):
-            raise UnknownLinkError(
-                f"no link between {sender} and {receiver}"
-            )
-        link = Link.of(sender, receiver)
-        loss = self._config.loss_probability(link)
-        if loss <= 0.0:
-            return True
-        if loss >= 1.0:
-            return False
-        return self._stream(link).random() >= loss
+        entry = self._cache.get((sender, receiver))
+        if entry is None:
+            entry = self._materialize(sender, receiver)
+        loss, draw = entry
+        if draw is not None:
+            return draw.next() >= loss
+        return loss <= 0.0

@@ -24,6 +24,8 @@ class BroadcastMonitor:
     experiment reads ratios once the run finishes.
     """
 
+    __slots__ = ("_n", "_deliveries", "_first_delivery_time", "_last_delivery_time")
+
     def __init__(self, n: int) -> None:
         self._n = n
         self._deliveries: Dict[Hashable, Set[ProcessId]] = {}
@@ -31,7 +33,9 @@ class BroadcastMonitor:
         self._last_delivery_time: Dict[Hashable, float] = {}
 
     def delivered(self, message_id: Hashable, pid: ProcessId, now: float) -> None:
-        group = self._deliveries.setdefault(message_id, set())
+        group = self._deliveries.get(message_id)
+        if group is None:
+            group = self._deliveries[message_id] = set()
         if pid not in group:
             group.add(pid)
             self._first_delivery_time.setdefault(message_id, now)
@@ -66,6 +70,16 @@ class ConvergenceMonitor:
     The predicate is evaluated outside any process (omniscient observer),
     so polling consumes no simulated messages.
     """
+
+    __slots__ = (
+        "_sim",
+        "_predicate",
+        "_period",
+        "_stop",
+        "_deadline",
+        "_converged_at",
+        "_polls",
+    )
 
     def __init__(
         self,

@@ -43,6 +43,54 @@ class NetworkOptions:
     markov_mean_down_ticks: float = 5.0
 
 
+class _Delivery:
+    """One scheduled message arrival.
+
+    A ``__slots__`` callable instead of a per-message closure: the send
+    path allocates exactly one small object per in-flight message, and
+    the receive-side crash draw + stats recording happen when the engine
+    invokes it at delivery time.  ``send_time`` is the *send* timestamp —
+    transmission records are stamped with when the attempt was made,
+    matching the original accounting.
+    """
+
+    __slots__ = ("network", "send_time", "sender", "receiver", "category", "payload")
+
+    def __init__(
+        self,
+        network: "Network",
+        send_time: float,
+        sender: ProcessId,
+        receiver: ProcessId,
+        category: MessageCategory,
+        payload: Any,
+    ) -> None:
+        self.network = network
+        self.send_time = send_time
+        self.sender = sender
+        self.receiver = receiver
+        self.category = category
+        self.payload = payload
+
+    def __call__(self) -> None:
+        network = self.network
+        receiver = self.receiver
+        if network._crash_model.crashed_step(receiver, network._sim.now):
+            network._stats.record(
+                self.send_time,
+                self.sender,
+                receiver,
+                self.category,
+                False,
+                DropReason.RECEIVER_CRASH,
+            )
+            return
+        network._stats.record(
+            self.send_time, self.sender, receiver, self.category, True
+        )
+        network._processes[receiver].on_message(self.sender, self.payload)
+
+
 class Network:
     """Simulated message-passing substrate over a graph + configuration.
 
@@ -53,6 +101,22 @@ class Network:
             streams for link losses, crash draws and latency jitter.
         options: see :class:`NetworkOptions`.
     """
+
+    __slots__ = (
+        "_sim",
+        "_config",
+        "_graph",
+        "_options",
+        "_rng",
+        "_links",
+        "_latency_rng",
+        "_latency_base",
+        "_latency_jitter",
+        "_stats",
+        "_processes",
+        "_started",
+        "_crash_model",
+    )
 
     def __init__(
         self,
@@ -68,6 +132,11 @@ class Network:
         self._rng = rng.child("network")
         self._links = LossyLinkLayer(config, self._rng)
         self._latency_rng = self._rng.child("latency")
+        # the latency model is immutable for the network's lifetime
+        # (reconfiguration keeps options); cache its fields so the send
+        # path samples without attribute chains or a method call
+        self._latency_base = self._options.latency.base
+        self._latency_jitter = self._options.latency.jitter
         self._stats = MessageStats(trace=self._options.trace_messages)
         self._processes: Dict[ProcessId, "SimProcess"] = {}
         self._started = False
@@ -236,7 +305,8 @@ class Network:
         successful messages are delivered after the latency delay with
         :data:`~repro.sim.events.DELIVERY_PRIORITY`.
         """
-        now = self._sim.now
+        sim = self._sim
+        now = sim.now
         if self._crash_model.crashed_step(sender, now):
             self._stats.record(
                 now, sender, receiver, category, False, DropReason.SENDER_CRASH
@@ -247,22 +317,15 @@ class Network:
                 now, sender, receiver, category, False, DropReason.LINK_LOSS
             )
             return False
-        delay = self._options.latency.sample(self._latency_rng)
-
-        def deliver() -> None:
-            arrive = self._sim.now
-            if self._crash_model.crashed_step(receiver, arrive):
-                self._stats.record(
-                    now, sender, receiver, category, False, DropReason.RECEIVER_CRASH
-                )
-                return
-            self._stats.record(now, sender, receiver, category, True)
-            self._processes[receiver].on_message(sender, payload)
-
-        self._sim.schedule(
+        delay = self._latency_base
+        if self._latency_jitter != 0.0:
+            delay += self._latency_jitter * self._latency_rng.random()
+        sim.schedule(
             delay,
-            deliver,
-            name=f"deliver:{sender}->{receiver}",
+            _Delivery(self, now, sender, receiver, category, payload),
+            # the per-message name only exists for the engine trace;
+            # skip the f-string entirely on untraced (production) runs
+            name=f"deliver:{sender}->{receiver}" if sim.trace_enabled else "",
             priority=DELIVERY_PRIORITY,
         )
         return True
@@ -274,8 +337,9 @@ class Network:
         category: MessageCategory = MessageCategory.DATA,
     ) -> int:
         """Send ``payload`` to every neighbour of ``sender``; returns count."""
+        send = self.send
         count = 0
         for q in self._graph.neighbors(sender):
-            self.send(sender, q, payload, category)
+            send(sender, q, payload, category)
             count += 1
         return count

@@ -14,7 +14,7 @@ crash-recovery path (Event 4 of Algorithm 4 and stable-storage reads).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
@@ -34,6 +34,20 @@ class SimProcess:
     * :meth:`on_timer` — called per expired (non-periodic) timer.
     * :meth:`on_crash` / :meth:`on_recovery` — burst-crash notifications.
     """
+
+    __slots__ = (
+        "pid",
+        "network",
+        "volatile",
+        "stable",
+        "_timers",
+        "_periodic",
+        "_down",
+    )
+    # NOTE: protocol subclasses deliberately do NOT declare __slots__ —
+    # they keep a normal __dict__ for their own state (and tests may
+    # monkeypatch hooks on instances); only the base-class plumbing
+    # fields above are slotted.
 
     def __init__(self, pid: ProcessId, network: Network) -> None:
         self.pid = pid
@@ -102,15 +116,14 @@ class SimProcess:
         """(Re-)arm a named one-shot timer; fires :meth:`on_timer`."""
         check_positive(delay, "delay")
         self.cancel_timer(name)
+        event_name = f"timer:{self.pid}:{name}"
 
         def fire() -> None:
             self._timers.pop(name, None)
             if not self._down:
                 self.on_timer(name)
 
-        self._timers[name] = self.sim.schedule(
-            delay, fire, name=f"timer:{self.pid}:{name}"
-        )
+        self._timers[name] = self.sim.schedule(delay, fire, name=event_name)
 
     def cancel_timer(self, name: str) -> None:
         handle = self._timers.pop(name, None)
@@ -129,21 +142,25 @@ class SimProcess:
         """
         check_positive(period, "period")
         self._periodic[name] = (period, action)
+        timer_key = f"__periodic__{name}"
+        event_name = f"periodic:{self.pid}:{name}"
+        periodic = self._periodic
+        timers = self._timers
+        schedule = self.sim.schedule
 
         def tick() -> None:
-            if name not in self._periodic:
+            entry = periodic.get(name)
+            if entry is None:
                 return
-            current_period, current_action = self._periodic[name]
+            current_period, current_action = entry
             if not self._down:
                 current_action()
-            if name in self._periodic:
-                self._timers[f"__periodic__{name}"] = self.sim.schedule(
-                    current_period, tick, name=f"periodic:{self.pid}:{name}"
+            if name in periodic:
+                timers[timer_key] = schedule(
+                    current_period, tick, name=event_name
                 )
 
-        self._timers[f"__periodic__{name}"] = self.sim.schedule(
-            period, tick, name=f"periodic:{self.pid}:{name}"
-        )
+        timers[timer_key] = schedule(period, tick, name=event_name)
 
     def cancel_periodic(self, name: str) -> None:
         self._periodic.pop(name, None)

@@ -9,11 +9,13 @@ Stable storage tracks write counts so experiments can quantify how
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator
 
 
 class VolatileMemory:
     """Key-value memory lost on crash."""
+
+    __slots__ = ("_data",)
 
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}
@@ -48,6 +50,8 @@ class StableStorage:
     paper requires (e.g. the local clock value used to estimate the
     process's own crash probability, Section 4.1).
     """
+
+    __slots__ = ("_data", "_writes", "_reads")
 
     def __init__(self) -> None:
         self._data: Dict[str, Any] = {}

@@ -10,10 +10,10 @@ lost and delivered transmissions.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from repro.types import Link, ProcessId
+from repro.types import Link, LinkKey, ProcessId
 
 
 class MessageCategory(enum.Enum):
@@ -54,11 +54,24 @@ class MessageStats:
     *sent*, not messages delivered.
     """
 
+    __slots__ = (
+        "_sent",
+        "_delivered",
+        "_dropped",
+        "_per_link_sent",
+        "_trace_enabled",
+        "_records",
+    )
+
     def __init__(self, trace: bool = False) -> None:
         self._sent: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
         self._delivered: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
         self._dropped: Dict[DropReason, int] = {r: 0 for r in DropReason}
-        self._per_link_sent: Dict[Link, int] = {}
+        # keyed by the raw canonical (u, v) tuple; Link is itself a tuple
+        # so lookups by Link hit the same entries, and the public
+        # accessors rebuild Link keys — the hot recording path just
+        # avoids one NamedTuple allocation per transmission
+        self._per_link_sent: Dict[LinkKey, int] = {}
         self._trace_enabled = trace
         self._records: List[TransmissionRecord] = []
 
@@ -74,8 +87,14 @@ class MessageStats:
         drop_reason: Optional[DropReason] = None,
     ) -> None:
         self._sent[category] += 1
-        link = Link.of(sender, receiver)
-        self._per_link_sent[link] = self._per_link_sent.get(link, 0) + 1
+        if sender < receiver:
+            link = (sender, receiver)
+        elif receiver < sender:
+            link = (receiver, sender)
+        else:
+            raise ValueError(f"self-link at process {sender} is not allowed")
+        per_link = self._per_link_sent
+        per_link[link] = per_link.get(link, 0) + 1
         if delivered:
             self._delivered[category] += 1
         elif drop_reason is not None:
@@ -108,7 +127,7 @@ class MessageStats:
         return self._per_link_sent.get(Link.of(*link), 0)
 
     def per_link_sent(self) -> Dict[Link, int]:
-        return dict(self._per_link_sent)
+        return {Link(*key): count for key, count in self._per_link_sent.items()}
 
     def messages_per_link(
         self, link_count: int, category: Optional[MessageCategory] = None

@@ -13,7 +13,6 @@ stay deterministic per seed.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Tuple
 
 from repro.errors import TopologyError, ValidationError
@@ -193,11 +192,11 @@ def small_world(n: int, k: int, beta: float, rng: RandomSource) -> Graph:
             if candidate in links:
                 continue
             trial = (links - {link}) | {candidate}
-            graph = Graph(n, [tuple(l) for l in trial])
+            graph = Graph(n, [tuple(link) for link in trial])
             if graph.is_connected():
                 links = trial
                 break
-    return Graph(n, [tuple(l) for l in links])
+    return Graph(n, [tuple(link) for link in links])
 
 
 def scale_free(n: int, attach: int, rng: RandomSource) -> Graph:
@@ -286,7 +285,7 @@ def two_tier(
             existing.add(link)
             wan_links.append(link)
             budget -= 1
-    links = [tuple(l) for l in lan_links + wan_links]
+    links = [tuple(link) for link in lan_links + wan_links]
     graph = Graph(n, links)
     if not graph.is_connected():  # pragma: no cover - construction guarantees it
         raise TopologyError("two_tier produced a disconnected graph")

@@ -193,7 +193,7 @@ class Graph:
         target = Link.of(u, v)
         if target not in self._link_index:
             raise UnknownLinkError(f"link {target} not in graph")
-        return Graph(self._n, [l for l in self._links if l != target])
+        return Graph(self._n, [link for link in self._links if link != target])
 
     def without_process(self, p: ProcessId) -> "Graph":
         """A new graph with process ``p``'s links removed (id space unchanged).
@@ -203,7 +203,7 @@ class Graph:
         permanent departures.
         """
         self._check_process(p)
-        return Graph(self._n, [l for l in self._links if p not in (l.u, l.v)])
+        return Graph(self._n, [link for link in self._links if p not in (link.u, link.v)])
 
     def subgraph_links(self, keep: Iterable[Link]) -> "Graph":
         """A new graph over the same processes with only ``keep`` links.

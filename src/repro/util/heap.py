@@ -16,7 +16,7 @@ re-prioritisation); these classes exist for algorithms that do.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
 
 ItemT = TypeVar("ItemT", bound=Hashable)
 

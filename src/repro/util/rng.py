@@ -19,6 +19,43 @@ import numpy as np
 SeedLike = Union[int, str, bytes]
 
 
+class BufferedUniforms:
+    """Block-buffered uniform draws off one :class:`numpy.random.Generator`.
+
+    ``next()`` is bit-identical to calling ``float(generator.random())``
+    repeatedly — NumPy fills a batched ``random(size)`` request from the
+    same underlying bit stream in the same order — but amortises the
+    per-call Generator dispatch over ``block`` draws, which matters on
+    per-message hot paths (crash and link-loss draws).
+
+    The wrapper advances the generator ``block`` draws at a time, so a
+    stream must be consumed either entirely through one wrapper or
+    entirely through direct calls — mixing the two would skip buffered
+    values.  (All simulation hot paths own their child stream outright.)
+    """
+
+    __slots__ = ("_generator", "_block", "_buffer", "_pos")
+
+    def __init__(self, generator: np.random.Generator, block: int = 256) -> None:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._generator = generator
+        self._block = block
+        self._buffer: list = []
+        self._pos = block  # force a refill on first draw
+
+    def next(self) -> float:
+        """The next uniform float in [0, 1) from the wrapped stream."""
+        pos = self._pos
+        if pos >= len(self._buffer):
+            # .tolist() converts float64 -> float exactly and makes the
+            # per-draw indexing a plain list access
+            self._buffer = self._generator.random(self._block).tolist()
+            pos = 0
+        self._pos = pos + 1
+        return self._buffer[pos]
+
+
 def _seed_bytes(seed: SeedLike) -> bytes:
     if isinstance(seed, bytes):
         return seed
@@ -82,6 +119,15 @@ class RandomSource:
     def child(self, *labels: SeedLike) -> "RandomSource":
         """Derive an independent child stream for the given labels."""
         return RandomSource(*self._seed_parts, *labels)
+
+    def buffered(self, block: int = 256) -> BufferedUniforms:
+        """Wrap this stream's generator for block-buffered uniform draws.
+
+        See :class:`BufferedUniforms`: draw values are bit-identical to
+        repeated :meth:`random` calls, but the stream must then be
+        consumed exclusively through the returned wrapper.
+        """
+        return BufferedUniforms(self._generator, block)
 
     # -- convenience draw helpers -------------------------------------------------
 

@@ -1,6 +1,5 @@
 """Unit tests for the adaptive broadcast protocol (Section 4)."""
 
-import math
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro.errors import ValidationError
 from repro.sim.monitors import BroadcastMonitor
 from repro.sim.trace import MessageCategory
 from repro.topology.configuration import Configuration
-from repro.topology.generators import k_regular, line, ring
+from repro.topology.generators import ring
 from repro.types import Link
 from tests.conftest import build_network
 

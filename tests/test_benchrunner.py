@@ -1,0 +1,203 @@
+"""Tests for the ``repro bench`` runner and the compare regression gate."""
+
+import json
+
+import pytest
+
+from repro.benchrunner import (
+    SCHEMA_VERSION,
+    compare_summaries,
+    load_summary,
+    render_summary,
+    run_benches,
+    write_summary,
+)
+from repro.cli import main
+from repro.errors import ValidationError
+
+
+def _summary(benchmarks, **extra):
+    base = {
+        "schema": SCHEMA_VERSION,
+        "repro_version": "0",
+        "scale": "quick",
+        "python": "3",
+        "platform": "test",
+        "repeats": 1,
+        "benchmarks": benchmarks,
+    }
+    base.update(extra)
+    return base
+
+
+def _entry(**metrics):
+    return {"scale": "quick", "wall_s": 1.0, **metrics}
+
+
+class TestCompare:
+    def test_no_regression(self):
+        base = _summary({"a": _entry(events_per_s=100.0)})
+        cur = _summary({"a": _entry(events_per_s=95.0)})
+        report, regressions = compare_summaries(base, cur, max_regression=0.25)
+        assert regressions == []
+        assert "no regressions" in report
+
+    def test_regression_detected(self):
+        base = _summary({"a": _entry(events_per_s=100.0)})
+        cur = _summary({"a": _entry(events_per_s=70.0)})
+        report, regressions = compare_summaries(base, cur, max_regression=0.25)
+        assert regressions == ["a"]
+        assert "REGRESSED" in report
+
+    def test_boundary_is_exclusive(self):
+        """Exactly (1 - max_regression) x baseline still passes."""
+        base = _summary({"a": _entry(trials_per_s=100.0)})
+        cur = _summary({"a": _entry(trials_per_s=75.0)})
+        _, regressions = compare_summaries(base, cur, max_regression=0.25)
+        assert regressions == []
+
+    def test_missing_bench_not_gated(self):
+        base = _summary({"a": _entry(events_per_s=100.0), "gone": _entry()})
+        cur = _summary({"a": _entry(events_per_s=100.0), "new": _entry()})
+        report, regressions = compare_summaries(base, cur)
+        assert regressions == []
+        assert "gone" in report and "new" in report
+
+    def test_scale_mismatch_not_gated(self):
+        base = _summary({"a": _entry(events_per_s=100.0)})
+        cur = _summary(
+            {"a": {"scale": "full", "wall_s": 9.0, "events_per_s": 1.0}}
+        )
+        report, regressions = compare_summaries(base, cur)
+        assert regressions == []
+        assert "different scales" in report
+
+    def test_wall_only_benches_gate_on_inverse_wall(self):
+        base = _summary({"a": {"scale": "quick", "wall_s": 1.0}})
+        cur = _summary({"a": {"scale": "quick", "wall_s": 2.0}})
+        _, regressions = compare_summaries(base, cur, max_regression=0.25)
+        assert regressions == ["a"]
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            compare_summaries(_summary({}), _summary({}), max_regression=1.0)
+
+
+class TestSummaryIO:
+    def test_write_merges_entries_and_preserves_top_level(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        write_summary(
+            _summary({"a": _entry(events_per_s=1.0)}, platform="laptop"), path
+        )
+        second = _summary({"b": _entry(trials_per_s=2.0)})
+        del second["platform"]
+        del second["repeats"]
+        write_summary(second, path)
+        merged = json.loads(path.read_text())
+        assert set(merged["benchmarks"]) == {"a", "b"}
+        assert merged["platform"] == "laptop"
+        assert merged["repeats"] == 1
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(_summary({}, schema=99)))
+        with pytest.raises(ValidationError):
+            load_summary(str(path))
+
+    def test_load_rejects_non_summary(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            load_summary(str(path))
+
+    def test_render_lists_all_benches(self):
+        text = render_summary(
+            _summary({"a": _entry(events_per_s=1.0), "b": _entry()})
+        )
+        assert "a" in text and "b" in text
+
+
+class TestRunBenches:
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValidationError):
+            run_benches("quick", names=["nope"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            run_benches("galactic")
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValidationError):
+            run_benches("quick", repeats=0)
+
+    @pytest.mark.slow
+    def test_single_bench_summary_shape(self):
+        summary = run_benches("quick", repeats=1, names=["engine-events"])
+        assert summary["schema"] == SCHEMA_VERSION
+        assert list(summary["benchmarks"]) == ["engine-events"]
+        entry = summary["benchmarks"]["engine-events"]
+        assert entry["events_per_s"] > 0
+        assert entry["scale"] == "quick"
+
+
+class TestBenchCli:
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps(_summary({"a": _entry(events_per_s=100.0)})))
+        good.write_text(json.dumps(_summary({"a": _entry(events_per_s=99.0)})))
+        bad.write_text(json.dumps(_summary({"a": _entry(events_per_s=10.0)})))
+        assert main(["bench", "compare", str(base), str(good)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert main(["bench", "compare", str(base), str(bad)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_missing_file_is_usage_error(self, tmp_path, capsys):
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(_summary({})))
+        code = main(["bench", "compare", str(ok), str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_summary({"a": _entry(events_per_s=100.0)})))
+        cur.write_text(json.dumps(_summary({"a": _entry(events_per_s=60.0)})))
+        assert main(["bench", "compare", str(base), str(cur)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    str(base),
+                    str(cur),
+                    "--max-regression",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+
+    @pytest.mark.slow
+    def test_run_writes_summary(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "quick",
+                "--repeats",
+                "1",
+                "--bench",
+                "engine-events",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "engine-events" in capsys.readouterr().out
+        summary = json.loads(out.read_text())
+        assert summary["benchmarks"]["engine-events"]["events_per_s"] > 0

@@ -1,6 +1,5 @@
 """Unit tests for failure configurations."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ValidationError
@@ -20,7 +19,7 @@ class TestConstruction:
     def test_reliable(self, small_graph):
         c = Configuration.reliable(small_graph)
         assert all(c.crash_probability(p) == 0.0 for p in small_graph.processes)
-        assert all(c.loss_probability(l) == 0.0 for l in small_graph.links)
+        assert all(c.loss_probability(link) == 0.0 for link in small_graph.links)
 
     def test_explicit_maps(self, small_graph):
         c = Configuration(
@@ -67,7 +66,7 @@ class TestRandomUniform:
             0.01 <= c.crash_probability(p) <= 0.02 for p in small_graph.processes
         )
         assert all(
-            0.1 <= c.loss_probability(l) <= 0.2 for l in small_graph.links
+            0.1 <= c.loss_probability(link) <= 0.2 for link in small_graph.links
         )
 
     def test_deterministic(self, small_graph):

@@ -123,6 +123,16 @@ class TestRunControl:
         sim.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_non_positive_max_events_runs_nothing(self):
+        """Zero or negative budgets mean "no events", never "unbounded"."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run(max_events=0)
+        sim.run(max_events=-3)
+        assert fired == []
+        assert sim.pending_events == 1
+
     def test_stop(self):
         sim = Simulator()
         fired = []

@@ -3,9 +3,7 @@
 import math
 
 import numpy as np
-import pytest
 
-from repro.core.bayesian import BeliefEstimator
 from repro.core.estimates import (
     UNKNOWN_DISTORTION,
     Estimate,

@@ -20,13 +20,11 @@ from repro.experiments.campaign import Campaign, TrialSpec
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.figure4 import figure4_table
 from repro.experiments.registry import (
-    ExperimentContext,
     ExperimentSpec,
     Figure4aParams,
     HeterogeneousParams,
     discover_plugins,
     experiment_names,
-    experiment_specs,
     register_experiment,
     resolve_experiment,
     run_experiment,

@@ -5,7 +5,6 @@ in benchmarks/.
 """
 
 import math
-import os
 
 import pytest
 

@@ -5,7 +5,6 @@ never visits: totally dead links, near-certain crashes, partitions of
 knowledge, and broadcasts initiated from every position of the tree.
 """
 
-import math
 
 import pytest
 

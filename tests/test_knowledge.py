@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.core.knowledge import (
-    HeartbeatSnapshot,
     KnowledgeParameters,
     ProcessView,
 )

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SimulationError, UnknownLinkError, ValidationError
 from repro.sim.link import LatencyModel, LossyLinkLayer
-from repro.sim.network import Network, NetworkOptions
 from repro.sim.process import SimProcess
 from repro.sim.trace import DropReason, MessageCategory
 from repro.topology.configuration import Configuration

@@ -1,8 +1,6 @@
 """Unit tests for the optimal broadcast (Algorithm 1)."""
 
-import pytest
 
-from repro.core.broadcast import DataMessage
 from repro.core.optimal import OptimalBroadcast
 from repro.core.optimize import optimize
 from repro.sim.monitors import BroadcastMonitor

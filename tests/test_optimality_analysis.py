@@ -16,7 +16,6 @@ from repro.core.tree import SpanningTree
 from repro.topology.configuration import Configuration
 from repro.topology.generators import clique, random_connected, ring
 from repro.types import Link
-from repro.util.rng import RandomSource
 
 
 class TestKruskalOracle:
@@ -78,7 +77,7 @@ class TestEdgeDominance:
             g, rng.child("cfg"), loss_range=(0.0, 0.5)
         )
         mrt = maximum_reliability_tree(g, c, root=0)
-        mrt_weights = [link_weight(c, l) for l in mrt.links()]
+        mrt_weights = [link_weight(c, link) for link in mrt.links()]
         # compare against a BFS spanning tree (arbitrary alternative)
         from repro.topology.paths import bfs_distances
 
@@ -92,7 +91,7 @@ class TestEdgeDominance:
                     parent[p] = q
                     break
         other = SpanningTree(0, parent)
-        other_weights = [link_weight(c, l) for l in other.links()]
+        other_weights = [link_weight(c, link) for link in other.links()]
         assert edge_dominance_bijection(mrt_weights, other_weights)
 
 

@@ -1,6 +1,5 @@
 """Unit tests for path/distance computations."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for knowledge piggybacking on data messages (Section 4.1)."""
 
-import pytest
 
 from repro.core.adaptive import (
     AdaptiveBroadcast,
@@ -9,7 +8,6 @@ from repro.core.adaptive import (
 )
 from repro.core.knowledge import KnowledgeParameters
 from repro.sim.monitors import BroadcastMonitor
-from repro.sim.trace import MessageCategory
 from repro.topology.configuration import Configuration
 from repro.topology.generators import ring
 from tests.conftest import build_network

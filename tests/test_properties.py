@@ -1,6 +1,5 @@
 """Cross-cutting property-based tests on the paper's core invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -10,10 +9,8 @@ from repro.core.bayesian import BeliefEstimator
 from repro.core.mrt import maximum_reliability_tree
 from repro.core.optimize import gain, optimize, optimize_for_budget
 from repro.core.reach import reach
-from repro.core.tree import SpanningTree
 from repro.topology.configuration import Configuration
-from repro.topology.generators import random_connected, random_tree
-from repro.topology.graph import Graph
+from repro.topology.generators import random_connected
 from repro.util.rng import RandomSource
 from repro.util.unionfind import UnionFind
 
@@ -41,7 +38,7 @@ class TestMrtInvariants:
         links = tree.links()
         assert len(links) == graph.n - 1
         uf = UnionFind(range(graph.n))
-        assert all(uf.union(l.u, l.v) for l in links)  # acyclic
+        assert all(uf.union(link.u, link.v) for link in links)  # acyclic
         assert uf.set_count == 1  # spanning
 
     @settings(max_examples=25, deadline=None)

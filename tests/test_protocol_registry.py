@@ -18,11 +18,9 @@ from repro.experiments.runner import current_scale
 from repro.protocols import registry as reg
 from repro.protocols.flooding import FloodingBroadcast
 from repro.protocols.registry import (
-    AdaptiveProtocolParams,
     DeployContext,
     GossipProtocolParams,
     ProtocolSpec,
-    TwoPhaseProtocolParams,
     default_protocols,
     discover_plugins,
     protocol_names,

@@ -17,8 +17,6 @@ from repro.core.reach import (
 from repro.core.tree import SpanningTree
 from repro.topology.configuration import Configuration
 from repro.topology.generators import line, random_tree, star
-from repro.topology.graph import Graph
-from repro.types import Link
 from repro.util.rng import RandomSource
 
 

@@ -8,7 +8,6 @@ cell-by-cell diff with its tolerance semantics.
 
 import json
 import math
-import os
 
 import pytest
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import RandomSource, derive_seed
+from repro.util.rng import BufferedUniforms, RandomSource, derive_seed
 
 
 class TestDeriveSeed:
@@ -114,3 +114,31 @@ class TestRandomSource:
     def test_seed_parts_exposed(self):
         rng = RandomSource("root").child("x", 2)
         assert rng.seed_parts == ("root", "x", 2)
+
+
+class TestBufferedUniforms:
+    def test_bit_identical_to_single_draws(self):
+        """The kernel's batched draws must equal one-at-a-time draws."""
+        singles = RandomSource("buffered", 7)
+        buffered = RandomSource("buffered", 7).buffered(block=16)
+        # spans several refills and a partial block
+        expected = [singles.random() for _ in range(1000)]
+        got = [buffered.next() for _ in range(1000)]
+        assert got == expected
+
+    def test_values_are_python_floats_in_range(self):
+        draw = RandomSource("buffered-range").buffered(block=4)
+        values = [draw.next() for _ in range(64)]
+        assert all(isinstance(v, float) and 0.0 <= v < 1.0 for v in values)
+
+    def test_block_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RandomSource("buffered-bad").buffered(block=0)
+
+    def test_wraps_the_streams_own_generator(self):
+        source = RandomSource("buffered-shared")
+        assert isinstance(source.buffered(), BufferedUniforms)
+        # two wrappers over independent equal streams agree
+        a = RandomSource("twin").buffered(block=3)
+        b = RandomSource("twin").buffered(block=1000)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]

@@ -180,8 +180,8 @@ class TestDynamicsDriver:
         for link in cut:
             assert network.config.loss_probability(link) == 1.0
         # non-cut links keep their base loss
-        uncut = [l for l in graph.links if l not in set(cut)]
-        assert all(network.config.loss_probability(l) == 0.02 for l in uncut)
+        uncut = [link for link in graph.links if link not in set(cut)]
+        assert all(network.config.loss_probability(link) == 0.02 for link in uncut)
         network.sim.run(until=10.0)
         assert network.config == config
 

@@ -33,7 +33,7 @@ class TestRenderTable:
         out = render_table(["a", "bb"], [[1, 2], [33, 4]])
         lines = out.splitlines()
         assert lines[0].startswith("+")
-        assert all(len(l) == len(lines[0]) for l in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
         assert "| 33 |" in out
 
     def test_title(self):

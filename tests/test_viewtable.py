@@ -15,7 +15,6 @@ from repro.errors import ProtocolError
 from repro.core.knowledge import KnowledgeParameters, ProcessView
 from repro.core.viewtable import VectorView
 from repro.topology.generators import k_regular, ring
-from repro.topology.graph import Graph
 from repro.types import Link
 from repro.util.rng import RandomSource
 
