@@ -69,7 +69,11 @@ from repro.results.schema import (
     diff_result_sets,
 )
 from repro.results.store import ResultStore, resolve_result
-from repro.scenario.registry import build_scenario, scenario_names
+from repro.scenario.adversarial import Find, HuntResult
+from repro.scenario.adversarial import hunt as run_hunt
+from repro.scenario.generate import ScenarioGenerator
+from repro.scenario.registry import build_scenario, promoted_names, scenario_names
+from repro.scenario.registry import promote_scenario as _promote_scenario
 from repro.scenario.run import ScenarioReport, protocol_row, scenario_reports
 from repro.scenario.schema import ScenarioSpec
 from repro.scenario.trial import run_scenario_trial
@@ -90,6 +94,13 @@ __all__ = [
     # scenario surface
     "list_scenarios",
     "get_scenario",
+    "generate_scenarios",
+    "hunt",
+    "promote_scenario",
+    "list_promoted_scenarios",
+    "ScenarioGenerator",
+    "HuntResult",
+    "Find",
     # experiment surface
     "ExperimentSpec",
     "ExperimentContext",
@@ -157,8 +168,98 @@ def list_scenarios() -> List[str]:
 def get_scenario(
     name: str, scale: Union[str, ExperimentScale, None] = None
 ) -> ScenarioSpec:
-    """Build one built-in scenario at the given scale (default: ambient)."""
+    """Resolve one scenario at the given scale (default: ambient).
+
+    Accepts built-in names, ``gen:<seed>:<index>`` generated names and
+    promoted scenario names.
+    """
     return build_scenario(name, _scale(scale))
+
+
+def generate_scenarios(
+    seed: str = "0",
+    count: int = 10,
+    *,
+    scale: Union[str, ExperimentScale, None] = None,
+    start: int = 0,
+) -> List[ScenarioSpec]:
+    """``count`` seeded scenarios from the generator stream.
+
+    Each spec is a pure function of ``(seed, scale name, index)`` and is
+    addressable through the registry as ``gen:<seed>:<index>``.
+    """
+    return ScenarioGenerator(seed, _scale(scale)).specs(count, start=start)
+
+
+def hunt(
+    seed: str = "0",
+    budget: int = 50,
+    *,
+    scale: Union[str, ExperimentScale, None] = None,
+    top: int = 5,
+    trials: Optional[int] = None,
+    protocol: str = "adaptive",
+    oracle: str = "optimal",
+    min_regret: float = 0.0,
+    shrink: bool = True,
+    workers: int = 1,
+    cache: Union[bool, str, None] = None,
+    store: Union[bool, str, ResultStore, None] = None,
+) -> HuntResult:
+    """Adversarial search over ``budget`` generated scenarios.
+
+    Scores each scenario by adaptive-vs-oracle regret, keeps the
+    ``top``-K worst, and (by default) shrinks each find's timeline to a
+    minimal counterexample.  Deterministic for a pinned seed regardless
+    of ``workers``.  With ``store``, the frontier is appended to the
+    results store (generator-seed provenance included) and the returned
+    result reflects the stored run id via :meth:`HuntResult.to_result_set`.
+    """
+    result_store = _store(store)
+    if result_store is not None:
+        result_store.check_writable()
+    try:
+        result = run_hunt(
+            seed,
+            budget,
+            scale=_scale(scale),
+            top=top,
+            trials=trials,
+            protocol=protocol,
+            oracle=oracle,
+            min_regret=min_regret,
+            shrink=shrink,
+            campaign=Campaign(workers=workers, cache=_trial_cache(cache)),
+        )
+    except Exception:
+        if result_store is not None:
+            result_store.discard_probe_residue()
+        raise
+    if result_store is not None:
+        result_store.append(result.to_result_set())
+    return result
+
+
+def promote_scenario(
+    spec: Union[ScenarioSpec, Find],
+    name: str,
+    directory: Optional[str] = None,
+) -> str:
+    """Write a spec (or a hunt find's minimized spec) into the registry.
+
+    Returns the path of the promoted JSON file; the scenario then
+    resolves by ``name`` everywhere (``repro scenario run <name>``,
+    :func:`get_scenario`, campaign workers).  See
+    :func:`repro.scenario.registry.promote_scenario`.
+    """
+    if isinstance(spec, Find):
+        spec = spec.minimized
+    return _promote_scenario(spec, name, directory=directory)
+
+
+def list_promoted_scenarios(directory: Optional[str] = None) -> List[str]:
+    """Names of promoted (file-backed) scenarios."""
+    return promoted_names(directory)
 
 
 def _scale(scale: Union[str, ExperimentScale, None]) -> ExperimentScale:

@@ -223,12 +223,51 @@ def bench_figure4a_cell(scale_name: str) -> Dict[str, float]:
     return {"wall_s": wall, "trials": float(campaign.executed)}
 
 
+def bench_scenario_generate(scale_name: str) -> Dict[str, float]:
+    """Scenario-generation throughput (specs sampled + validated)."""
+    from repro.experiments.runner import current_scale
+    from repro.scenario.generate import ScenarioGenerator
+
+    counts = {"quick": 200, "default": 600, "full": 1500}
+    count = counts.get(scale_name, 600)
+    generator = ScenarioGenerator("bench", current_scale(scale_name))
+    start = time.perf_counter()
+    for index in range(count):
+        generator.generate(index)
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "trials": float(count)}
+
+
+def bench_scenario_hunt(scale_name: str) -> Dict[str, float]:
+    """Adversarial search throughput (tiny budget, serial, with shrink)."""
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.runner import current_scale
+    from repro.scenario.adversarial import hunt
+
+    budgets = {"quick": 3, "default": 6, "full": 12}
+    budget = budgets.get(scale_name, 6)
+    campaign = Campaign(workers=1, cache=None)
+    start = time.perf_counter()
+    hunt(
+        "bench",
+        budget,
+        scale=current_scale(scale_name),
+        top=2,
+        trials=1,
+        campaign=campaign,
+    )
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "trials": float(campaign.executed)}
+
+
 #: Registered benches in execution order.
 BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "engine-events": bench_engine_events,
     "network-delivery": bench_network_delivery,
     "scenario-trials": bench_scenario_trials,
     "figure4a-cell": bench_figure4a_cell,
+    "scenario-generate": bench_scenario_generate,
+    "scenario-hunt": bench_scenario_hunt,
 }
 
 

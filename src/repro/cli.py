@@ -31,6 +31,12 @@ Usage::
     python -m repro scenario run wan-brownout --protocols adaptive,optimal,gossip
     python -m repro scenario run burst-storm --sweep gossip.rounds=4,8
 
+    # generated + adversarial scenarios (repro.scenario.generate/adversarial)
+    python -m repro scenario generate --seed 7 --count 3
+    python -m repro scenario run gen:7:1 --scale quick
+    python -m repro scenario hunt --budget 200 --scale quick
+    python -m repro scenario hunt --budget 50 --promote worst-partition
+
     # hot-path benchmarks + the performance regression gate
     python -m repro bench --scale quick
     python -m repro bench compare BENCH_core.json fresh.json --max-regression 0.25
@@ -462,6 +468,118 @@ def make_parser() -> argparse.ArgumentParser:
             + " plus per-protocol params as protocol.param "
             "(e.g. gossip.rounds=4,8 — see 'repro protocols describe'); "
             "multiple values print one table per combination"
+        ),
+    )
+    run.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append the comparison table to the results store "
+            "(default path when FILE is omitted) for zero-drift re-run "
+            "diffs via 'repro results diff'"
+        ),
+    )
+
+    gen_cmd = scen_sub.add_parser(
+        "generate",
+        help="print seeded generated scenarios",
+        description=(
+            "Sample scenarios from the seeded generator: every spec is a "
+            "pure function of (seed, scale, index), valid by "
+            "construction, and runnable as gen:<seed>:<index>."
+        ),
+    )
+    gen_cmd.add_argument("--seed", default="0", metavar="SEED")
+    gen_cmd.add_argument("--count", type=int, default=5, metavar="N")
+    gen_cmd.add_argument(
+        "--start", type=int, default=0, metavar="INDEX",
+        help="first generator index (default 0)",
+    )
+    gen_cmd.add_argument(
+        "--scale", choices=["quick", "default", "full"], default=None
+    )
+    gen_cmd.add_argument(
+        "--json", action="store_true",
+        help="print canonical JSON, one spec per line",
+    )
+    gen_cmd.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write one <name>.json file per spec to DIR",
+    )
+
+    hunt_cmd = scen_sub.add_parser(
+        "hunt",
+        help="adversarial search for worst-case adaptive-vs-oracle regret",
+        description=(
+            "Fan a budget of generated scenarios through the campaign "
+            "runner, score each by adaptive-vs-oracle regret, keep the "
+            "top-K worst and shrink each find's timeline to a minimal "
+            "counterexample.  Bit-identical for a pinned seed at any "
+            "--workers count."
+        ),
+    )
+    hunt_cmd.add_argument("--seed", default="0", metavar="SEED")
+    hunt_cmd.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="generated scenarios to evaluate (default 50)",
+    )
+    hunt_cmd.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="frontier size (default 5)",
+    )
+    hunt_cmd.add_argument(
+        "--trials", type=int, default=None, metavar="N",
+        help="trials per (scenario, protocol) cell (default: scale preset)",
+    )
+    hunt_cmd.add_argument(
+        "--protocol", default="adaptive", help="protocol under test"
+    )
+    hunt_cmd.add_argument(
+        "--oracle", default="optimal", help="reference protocol"
+    )
+    hunt_cmd.add_argument(
+        "--min-regret", type=float, default=0.0, metavar="R",
+        help="drop frontier entries below this regret",
+    )
+    hunt_cmd.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip counterexample minimization",
+    )
+    hunt_cmd.add_argument(
+        "--promote", metavar="NAME", default=None,
+        help="promote the rank-1 minimized find into the scenario registry",
+    )
+    hunt_cmd.add_argument(
+        "--scale", choices=["quick", "default", "full"], default=None
+    )
+    hunt_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: all CPUs)",
+    )
+    hunt_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="trial cache directory",
+    )
+    hunt_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk trial cache",
+    )
+    hunt_cmd.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write the full hunt JSON artefact to DIR",
+    )
+    hunt_cmd.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append the frontier to the results store (default path "
+            "when FILE is omitted)"
         ),
     )
     return parser
@@ -951,18 +1069,29 @@ def _run_bench(args: argparse.Namespace) -> int:
 
 def _run_scenario(args: argparse.Namespace) -> int:
     if args.scenario_command == "list":
+        from repro.scenario.registry import promoted_names, scenarios_dir
+
         scale = current_scale(None)
         width = max(len(n) for n in scenario_names())
         for name in scenario_names():
             spec = build_scenario(name, scale)
             print(f"  {name:<{width}}  {spec.description}")
+        promoted = promoted_names()
+        if promoted:
+            print(f"\n  promoted ({scenarios_dir()}/):")
+            for name in promoted:
+                print(f"    {name}")
         print(
             f"\n  {scenario_trials(scale)} trials/protocol at "
             f"{scale.name} scale; 'repro scenario describe <name>' for "
-            "the full spec"
+            "the full spec; generated scenarios run as gen:<seed>:<index>"
         )
         return 0
     scale = current_scale(args.scale)
+    if args.scenario_command == "generate":
+        return _run_scenario_generate(args, scale)
+    if args.scenario_command == "hunt":
+        return _run_scenario_hunt(args, scale)
     if args.scenario_command == "describe":
         try:
             print(build_scenario(args.name, scale).describe())
@@ -1023,6 +1152,116 @@ def _run_scenario(args: argparse.Namespace) -> int:
         for report in reports:
             report.write(args.out)
         print(f"artefacts written to {args.out}/")
+    if args.store is not None:
+        try:
+            store = ResultStore(args.store or None)
+            run_ids = [
+                store.append(report.to_result_set()).run_id
+                for report in reports
+            ]
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"stored as {', '.join(run_ids)} ({store.path})")
+    return 0
+
+
+def _run_scenario_generate(args: argparse.Namespace, scale) -> int:
+    """``repro scenario generate``: sample and print/write seeded specs."""
+    import json as _json
+
+    from repro.scenario.generate import ScenarioGenerator
+    from repro.scenario.trial import canonical_spec_json
+
+    try:
+        specs = ScenarioGenerator(args.seed, scale).specs(
+            args.count, start=args.start
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for spec in specs:
+            stem = spec.name.replace(":", "-")
+            path = os.path.join(args.out, f"{stem}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                _json.dump(spec.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(f"{len(specs)} specs written to {args.out}/")
+    elif args.json:
+        for spec in specs:
+            print(canonical_spec_json(spec))
+    else:
+        for index, spec in enumerate(specs):
+            if index:
+                print()
+            print(spec.describe())
+    return 0
+
+
+def _run_scenario_hunt(args: argparse.Namespace, scale) -> int:
+    """``repro scenario hunt``: adversarial worst-case regret search."""
+    import json as _json
+
+    from repro.scenario.adversarial import hunt
+    from repro.scenario.registry import promote_scenario
+
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    campaign = Campaign(workers=workers, cache=cache)
+    store = ResultStore(args.store or None) if args.store is not None else None
+    try:
+        if store is not None:
+            store.check_writable()
+        result = hunt(
+            args.seed,
+            args.budget,
+            scale=scale,
+            top=args.top,
+            trials=args.trials,
+            protocol=args.protocol,
+            oracle=args.oracle,
+            min_regret=args.min_regret,
+            shrink=not args.no_shrink,
+            campaign=campaign,
+        )
+    except ValueError as exc:
+        if store is not None:
+            store.discard_probe_residue()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(f"\n{_campaign_summary(campaign, workers, cache)}")
+    if store is not None:
+        stored = store.append(result.to_result_set())
+        print(f"stored as {stored.run_id} ({store.path})")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(
+            args.out,
+            f"hunt_{result.seed}_{result.scale}_b{result.budget}.json",
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            _json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"hunt artefact written to {path}")
+    if args.promote:
+        if not result.finds:
+            print(
+                "error: nothing to promote (no finds cleared --min-regret)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            path = promote_scenario(result.finds[0].minimized, args.promote)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"promoted rank-1 find to {path} "
+            f"(run it with: repro scenario run {args.promote})"
+        )
     return 0
 
 

@@ -18,18 +18,33 @@ first-class object:
 * :mod:`repro.scenario.run` — campaign compilation: scenario trials
   become :class:`~repro.experiments.campaign.TrialSpec`\\ s (parallel,
   cached, bit-identical to serial) aggregated into protocol-comparison
-  tables.
+  tables;
+* :mod:`repro.scenario.generate` — the seeded scenario generator:
+  ``(seed, scale, index)`` to a valid-by-construction spec, addressable
+  as ``gen:<seed>:<index>``;
+* :mod:`repro.scenario.adversarial` — the adversarial search: hunt a
+  generated-scenario budget for worst-case adaptive-vs-oracle regret and
+  shrink each find to a minimal counterexample.
 
 Timeline events are applied by :class:`repro.sim.dynamics.DynamicsDriver`
 through the engine's deterministic ``(time, priority, seq)`` ordering, so
 scenario trials stay pure functions of their scalar parameters.
 """
 
+from repro.scenario.adversarial import Find, HuntResult, hunt, regret_score
+from repro.scenario.generate import (
+    ScenarioGenerator,
+    generated_name,
+    parse_generated_name,
+)
 from repro.scenario.registry import (
     build_scenario,
     describe_scenario,
+    promote_scenario,
+    promoted_names,
     scenario_names,
     scenario_trials,
+    scenarios_dir,
 )
 from repro.scenario.run import (
     SCENARIO_SWEEP_KEYS,
@@ -77,4 +92,14 @@ __all__ = [
     "scenario_report",
     "scenario_reports",
     "SCENARIO_SWEEP_KEYS",
+    "ScenarioGenerator",
+    "generated_name",
+    "parse_generated_name",
+    "Find",
+    "HuntResult",
+    "hunt",
+    "regret_score",
+    "promote_scenario",
+    "promoted_names",
+    "scenarios_dir",
 ]

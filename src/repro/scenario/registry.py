@@ -22,6 +22,10 @@ The stable of stress patterns:
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ValidationError
@@ -227,19 +231,114 @@ def scenario_names() -> List[str]:
     return list(_BUILDERS)
 
 
+#: Environment variable overriding the promoted-scenario directory.
+SCENARIOS_DIR_ENV = "REPRO_SCENARIOS_DIR"
+
+#: Default directory for promoted (file-backed) scenarios.
+DEFAULT_SCENARIOS_DIR = ".repro-scenarios"
+
+_PROMOTED_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def scenarios_dir(directory: Optional[str] = None) -> str:
+    """Resolve the promoted-scenario directory (arg > env > default)."""
+    return directory or os.environ.get(SCENARIOS_DIR_ENV) or DEFAULT_SCENARIOS_DIR
+
+
+def promoted_names(directory: Optional[str] = None) -> List[str]:
+    """Names of promoted scenarios on disk, sorted."""
+    path = scenarios_dir(directory)
+    try:
+        entries = os.listdir(path)
+    except OSError:
+        return []
+    return sorted(
+        entry[: -len(".json")]
+        for entry in entries
+        if entry.endswith(".json")
+        and _PROMOTED_NAME_RE.match(entry[: -len(".json")])
+    )
+
+
+def _load_promoted(name: str, directory: Optional[str]) -> Optional[ScenarioSpec]:
+    if not _PROMOTED_NAME_RE.match(name):
+        return None
+    path = os.path.join(scenarios_dir(directory), f"{name}.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError:
+        return None
+    spec = ScenarioSpec.from_json(payload)
+    if spec.name != name:
+        raise ValidationError(
+            f"promoted scenario file {path} declares name {spec.name!r}, "
+            f"expected {name!r}"
+        )
+    return spec
+
+
+def promote_scenario(
+    spec: ScenarioSpec, name: str, directory: Optional[str] = None
+) -> str:
+    """Write ``spec`` into the named scenario registry; returns the path.
+
+    Promoted scenarios are plain JSON files under :func:`scenarios_dir`;
+    :func:`build_scenario` resolves them by name (scale-independent — a
+    promoted spec is fully concrete).  The spec is renamed to ``name``,
+    which re-keys the per-trial seed streams: re-runs of the *promoted*
+    scenario are reproducible against each other, not against the
+    original ``gen:`` runs.
+    """
+    if not _PROMOTED_NAME_RE.match(name):
+        raise ValidationError(
+            f"promoted scenario name {name!r} must match "
+            "[A-Za-z0-9][A-Za-z0-9_.-]* (it becomes a file stem)"
+        )
+    if name in _BUILDERS:
+        raise ValidationError(
+            f"cannot promote over built-in scenario {name!r}"
+        )
+    path = scenarios_dir(directory)
+    os.makedirs(path, exist_ok=True)
+    target = os.path.join(path, f"{name}.json")
+    renamed = replace(spec, name=name)
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(renamed.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return target
+
+
 def build_scenario(
     name: str,
     scale: Optional[ExperimentScale] = None,
 ) -> ScenarioSpec:
-    """Build a built-in scenario at the given (or ambient) scale."""
+    """Resolve a scenario name to a concrete spec at the given scale.
+
+    Resolution order: built-in builders, then ``gen:<seed>:<index>``
+    (regenerated from the seed at the scale's preset), then promoted
+    JSON files under :func:`scenarios_dir` (scale-independent).
+    """
     scale = scale or current_scale()
     builder = _BUILDERS.get(name)
-    if builder is None:
-        raise ValidationError(
-            f"unknown scenario {name!r}; built-ins: "
-            + ", ".join(scenario_names())
-        )
-    return builder(scale)
+    if builder is not None:
+        return builder(scale)
+    # deferred import: generate.py imports this module at load time
+    from repro.scenario.generate import ScenarioGenerator, parse_generated_name
+
+    parsed = parse_generated_name(name)
+    if parsed is not None:
+        seed, index = parsed
+        return ScenarioGenerator(seed, scale).generate(index)
+    promoted = _load_promoted(name, directory=None)
+    if promoted is not None:
+        return promoted
+    raise ValidationError(
+        f"unknown scenario {name!r}; built-ins: "
+        + ", ".join(scenario_names())
+        + "; generated scenarios use gen:<seed>:<index>; promoted "
+        f"scenarios live under {scenarios_dir()!r}"
+    )
 
 
 def describe_scenario(name: str, scale: Optional[ExperimentScale] = None) -> str:

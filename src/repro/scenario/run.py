@@ -95,6 +95,48 @@ class ScenarioReport:
             "rows": [dict(r) for r in self.rows],
         }
 
+    def to_result_set(self):
+        """The comparison table as a storable ResultSet.
+
+        Experiment name ``scenario-<name>``, one row per protocol, with
+        run parameters in the provenance — so scenario runs participate
+        in the results store's zero-tolerance re-run diffs exactly like
+        registry experiments.
+        """
+        from dataclasses import replace
+
+        from repro.results.schema import Provenance, ResultSet
+
+        columns = [
+            "protocol",
+            "delivery_ratio",
+            "data_messages",
+            "total_messages",
+            "reconv_time",
+            "reconverged",
+        ]
+        rows = [[row[column] for column in columns] for row in self.rows]
+        result = ResultSet.from_rows(
+            f"scenario-{self.scenario}",
+            title=(
+                f"scenario {self.scenario} ({self.scale} scale, "
+                f"{self.trials} trials) — {self.description}"
+            ),
+            columns=columns,
+            rows=rows,
+        )
+        params: Dict[str, object] = {"trials": self.trials}
+        params.update(self.overrides)
+        return replace(
+            result,
+            provenance=Provenance.capture(
+                experiment=f"scenario-{self.scenario}",
+                artefact="protocol comparison",
+                scale=self.scale,
+                params=params,
+            ),
+        )
+
     def write(self, directory: str) -> str:
         """Persist text + JSON artefacts; returns the JSON path."""
         os.makedirs(directory, exist_ok=True)

@@ -537,10 +537,14 @@ class ScenarioSpec:
                 raise ValidationError(
                     f"unknown timeline event {event!r}"
                 )
-            if float(event.at) > self.duration:
+            if float(event.at) >= self.duration:
+                # An event at exactly t == duration would technically fire
+                # (the engine's ``run(until=)`` is inclusive) but with zero
+                # observable effect and a zero-length reconvergence window,
+                # so it is rejected rather than silently dropped.
                 raise ValidationError(
-                    f"timeline event at t={event.at} is beyond "
-                    f"duration={self.duration}"
+                    f"timeline event at t={event.at} must land strictly "
+                    f"before duration={self.duration}"
                 )
 
     @property
@@ -565,10 +569,11 @@ class ScenarioSpec:
                 env = replace(env, crash=float(crash))
             spec = replace(spec, environment=env)
         if duration is not None:
-            if float(duration) < spec.last_event_time:
+            if spec.timeline and float(duration) <= spec.last_event_time:
                 raise ValidationError(
                     f"duration={duration} would truncate the timeline "
-                    f"(last event at t={spec.last_event_time})"
+                    f"(last event at t={spec.last_event_time} must land "
+                    f"strictly before the duration)"
                 )
             spec = replace(spec, duration=float(duration))
         return spec

@@ -64,9 +64,12 @@ from repro.util.rng import RandomSource
 __all__ = [
     "SCENARIO_KNOWLEDGE",
     "RECONV_POLL",
+    "canonical_spec_json",
     "run_scenario_trial",
     "scenario_trial_task",
+    "spec_trial_task",
     "TRIAL_FN",
+    "SPEC_TRIAL_FN",
 ]
 
 #: Poll period of the re-convergence watcher (omniscient, message-free).
@@ -270,3 +273,37 @@ def scenario_trial_task(
 
 
 TRIAL_FN = "repro.scenario.trial:scenario_trial_task"
+
+
+def canonical_spec_json(spec: ScenarioSpec) -> str:
+    """The canonical (sorted-keys, compact) JSON encoding of a spec.
+
+    This string is the spawn-safe campaign parameter for trials over
+    specs that have no registry name — e.g. the shrunk candidates of an
+    adversarial search.  Canonicalisation makes equal specs hash to
+    equal campaign cache keys.
+    """
+    return json.dumps(spec.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def spec_trial_task(
+    *,
+    spec_json: str,
+    protocol: str,
+    trial: int,
+    params: Optional[str] = None,
+) -> Dict[str, float]:
+    """Campaign task: run one trial of a fully-inlined scenario spec.
+
+    Unlike :func:`scenario_trial_task` this needs no registry name and
+    no scale — the spec travels as its canonical JSON — so it works for
+    mutated specs (shrunk timelines, tightened durations) that exist
+    nowhere but in the caller's memory.
+    """
+    spec = ScenarioSpec.from_json(json.loads(spec_json))
+    return run_scenario_trial(
+        spec, str(protocol), int(trial), params=decode_params(params)
+    )
+
+
+SPEC_TRIAL_FN = "repro.scenario.trial:spec_trial_task"

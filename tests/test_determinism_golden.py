@@ -174,6 +174,36 @@ def test_scenario_partition_heal_digest(protocol):
     _check(f"scenario-partition-heal-{protocol}", _scenario_payload(protocol))
 
 
+def test_generated_scenario_digest():
+    """One pinned generator coordinate stays golden end to end.
+
+    Covers the whole generative chain: the sampled spec's canonical JSON
+    (envelope arithmetic, topology/environment/timeline sampling) and
+    the adaptive + gossip trial metrics it produces.  Any drift in the
+    generator's RNG consumption or the trial runner shows up here.
+    """
+    from repro.experiments.runner import current_scale
+    from repro.scenario.generate import ScenarioGenerator
+    from repro.scenario.trial import canonical_spec_json, run_scenario_trial
+
+    spec = ScenarioGenerator("golden", current_scale("quick")).generate(7)
+    payload = json.dumps(
+        {
+            "spec": canonical_spec_json(spec),
+            "adaptive": {
+                k: repr(v)
+                for k, v in run_scenario_trial(spec, "adaptive", trial=0).items()
+            },
+            "gossip": {
+                k: repr(v)
+                for k, v in run_scenario_trial(spec, "gossip", trial=0).items()
+            },
+        },
+        sort_keys=True,
+    )
+    _check("generated-scenario-golden-7", payload)
+
+
 def test_figure4a_table_digest():
     """The figure4a table (reduced quick grid) renders byte-identically."""
     from repro.experiments.campaign import Campaign

@@ -1,0 +1,150 @@
+"""Property-based tests of the seeded scenario generator.
+
+The generator is itself the strategy source: Hypothesis supplies
+``(seed, index)`` coordinates and the properties assert the generator's
+contract at every coordinate — specs are valid by construction,
+round-trip JSON bit-identically, and replay deterministically (both at
+the spec level and through :class:`~repro.sim.dynamics.DynamicsDriver`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ValidationError  # noqa: E402
+from repro.experiments.runner import current_scale  # noqa: E402
+from repro.scenario.generate import (  # noqa: E402
+    ScenarioGenerator,
+    check_generator_seed,
+    generated_name,
+    parse_generated_name,
+)
+from repro.scenario.registry import MAX_SCENARIO_N, build_scenario  # noqa: E402
+from repro.scenario.schema import ScenarioSpec  # noqa: E402
+from repro.sim.dynamics import DynamicsDriver  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.sim.network import Network, NetworkOptions  # noqa: E402
+from repro.util.rng import RandomSource  # noqa: E402
+
+SEEDS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_.-", min_size=1, max_size=8
+)
+INDICES = st.integers(min_value=0, max_value=2_000)
+SCALES = st.sampled_from(["quick", "default", "full"])
+
+
+def _canonical(spec: ScenarioSpec) -> str:
+    return json.dumps(spec.to_json(), sort_keys=True)
+
+
+@given(seed=SEEDS, index=INDICES, scale=SCALES)
+@settings(max_examples=60)
+def test_generated_specs_validate_and_stay_in_envelope(seed, index, scale):
+    """Every generated spec constructs (validators ran) and its sampled
+    parameters sit inside the documented envelopes."""
+    spec = ScenarioGenerator(seed, current_scale(scale)).generate(index)
+    assert isinstance(spec, ScenarioSpec)
+    assert spec.name == generated_name(seed, index)
+    assert 6 <= spec.topology.n <= MAX_SCENARIO_N + 8  # two_tier rounding
+    assert spec.duration > 0.0
+    assert len(spec.timeline) <= 5
+    previous = -1.0
+    for event in spec.timeline:
+        assert previous < event.at < spec.duration
+        previous = event.at
+    # the workload's regular broadcasts land strictly inside the run
+    regular = [
+        t for t in spec.workload.broadcast_times()
+        if spec.workload.surge_at is None or t < spec.workload.surge_at
+    ]
+    assert all(0.0 <= t < spec.duration for t in regular)
+    # the topology actually constructs
+    graph = spec.topology.build()
+    assert graph.n == spec.topology.n
+
+
+@given(seed=SEEDS, index=INDICES, scale=SCALES)
+@settings(max_examples=60)
+def test_generated_specs_round_trip_json_bit_identically(seed, index, scale):
+    spec = ScenarioGenerator(seed, current_scale(scale)).generate(index)
+    encoded = _canonical(spec)
+    rebuilt = ScenarioSpec.from_json(json.loads(encoded))
+    assert rebuilt == spec
+    assert _canonical(rebuilt) == encoded
+
+
+@given(seed=SEEDS, index=INDICES, scale=SCALES)
+@settings(max_examples=40)
+def test_generation_is_deterministic_and_registry_addressable(
+    seed, index, scale
+):
+    scale_obj = current_scale(scale)
+    first = ScenarioGenerator(seed, scale_obj).generate(index)
+    second = ScenarioGenerator(seed, scale_obj).generate(index)
+    assert _canonical(first) == _canonical(second)
+    # gen:<seed>:<index> resolves through the registry to the same spec
+    via_registry = build_scenario(generated_name(seed, index), scale_obj)
+    assert _canonical(via_registry) == _canonical(first)
+    assert parse_generated_name(first.name) == (seed, index)
+
+
+def _applied_events(spec: ScenarioSpec):
+    """Install the spec's timeline on a fresh network and run it dry.
+
+    No protocol stack: the driver's applied-event log is a property of
+    (spec, seed) alone and must replay identically.
+    """
+    graph, tiers = spec.topology.build_with_tiers()
+    config = spec.environment.base_configuration(graph, tiers)
+    sim = Simulator()
+    rng = RandomSource("generator-replay", spec.name)
+    options = NetworkOptions(
+        crash_model=spec.environment.crash_model,
+        markov_mean_down_ticks=spec.environment.mean_down_ticks,
+    )
+    network = Network(sim, config, rng, options=options)
+    driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
+    driver.install()
+    sim.run(until=spec.duration)
+    return list(driver.applied_events)
+
+
+@given(seed=SEEDS, index=st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_dynamics_replay_is_deterministic(seed, index):
+    """Two DynamicsDriver runs of one generated spec apply the exact
+    same event sequence at the exact same times."""
+    spec = ScenarioGenerator(seed, current_scale("quick")).generate(index)
+    first = _applied_events(spec)
+    second = _applied_events(spec)
+    assert first == second
+    assert len(first) == len(spec.timeline)
+    assert [time for time, _ in first] == [e.at for e in spec.timeline]
+
+
+@given(st.text(max_size=6))
+def test_seed_validation_is_total(seed):
+    """Any string either validates as a seed or raises ValidationError —
+    never a crash, and validated seeds build parseable names."""
+    try:
+        check_generator_seed(seed)
+    except ValidationError:
+        return
+    name = generated_name(seed, 3)
+    assert parse_generated_name(name) == (seed, 3)
+
+
+def test_specs_batch_matches_individual_generation():
+    generator = ScenarioGenerator("batch", current_scale("quick"))
+    batch = generator.specs(5, start=2)
+    assert [s.name for s in batch] == [
+        f"gen:batch:{i}" for i in range(2, 7)
+    ]
+    for offset, spec in enumerate(batch):
+        assert _canonical(spec) == _canonical(generator.generate(2 + offset))

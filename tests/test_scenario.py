@@ -658,3 +658,166 @@ class TestEveryScenarioSmoke:
         assert adaptive["reconv_time"] is not None
         text = report.render()
         assert name in text
+
+
+# -- timeline/duration boundary (regression) -------------------------------------------
+
+
+class TestDurationBoundary:
+    """An event at exactly ``duration`` used to be silently dropped by the
+    inclusive engine run; the schema now rejects it consistently."""
+
+    def _spec(self, at: float, duration: float) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="boundary",
+            description="",
+            topology=TopologySpec(kind="ring", n=5),
+            timeline=(Heal(at=at),),
+            duration=duration,
+        )
+
+    def test_event_exactly_at_duration_rejected(self):
+        with pytest.raises(ValidationError, match="strictly before"):
+            self._spec(at=50.0, duration=50.0)
+
+    def test_event_strictly_before_duration_accepted(self):
+        spec = self._spec(at=49.999, duration=50.0)
+        assert spec.last_event_time == 49.999
+
+    def test_override_to_exactly_last_event_time_rejected(self):
+        spec = self._spec(at=20.0, duration=50.0)
+        with pytest.raises(ValidationError):
+            spec.with_overrides(duration=20.0)
+        assert spec.with_overrides(duration=25.0).duration == 25.0
+
+
+# -- generated names + promoted registry -----------------------------------------------
+
+
+class TestGeneratedAndPromoted:
+    def test_gen_name_resolves_through_registry(self):
+        from repro.scenario.generate import ScenarioGenerator
+
+        direct = ScenarioGenerator("reg", QUICK).generate(4)
+        via_registry = build_scenario("gen:reg:4", QUICK)
+        assert via_registry == direct
+
+    def test_malformed_gen_names_rejected(self):
+        for bad in ("gen:", "gen:seed", "gen:seed:x", "gen:bad seed:1",
+                    "gen:s:-1"):
+            with pytest.raises(ValidationError):
+                build_scenario(bad, QUICK)
+
+    def test_promote_and_load_round_trip(self, tmp_path, monkeypatch):
+        from repro.scenario import promote_scenario, promoted_names
+        from repro.scenario.generate import ScenarioGenerator
+
+        spec = ScenarioGenerator("promo", QUICK).generate(1)
+        path = promote_scenario(spec, "nasty-corner", directory=str(tmp_path))
+        assert path.endswith("nasty-corner.json")
+        assert promoted_names(str(tmp_path)) == ["nasty-corner"]
+        monkeypatch.setenv("REPRO_SCENARIOS_DIR", str(tmp_path))
+        loaded = build_scenario("nasty-corner", QUICK)
+        assert loaded.name == "nasty-corner"
+        assert loaded.timeline == spec.timeline
+        assert loaded.topology == spec.topology
+
+    def test_promote_rejects_builtin_and_bad_names(self, tmp_path):
+        from repro.scenario import promote_scenario
+        from repro.scenario.generate import ScenarioGenerator
+
+        spec = ScenarioGenerator("promo", QUICK).generate(1)
+        with pytest.raises(ValidationError):
+            promote_scenario(spec, "partition-heal", directory=str(tmp_path))
+        with pytest.raises(ValidationError):
+            promote_scenario(spec, "../escape", directory=str(tmp_path))
+
+    def test_promoted_name_mismatch_rejected(self, tmp_path, monkeypatch):
+        from repro.scenario import promote_scenario
+        from repro.scenario.generate import ScenarioGenerator
+
+        spec = ScenarioGenerator("promo", QUICK).generate(1)
+        path = promote_scenario(spec, "honest", directory=str(tmp_path))
+        payload = json.loads(open(path).read())
+        payload["name"] = "liar"
+        with open(str(tmp_path / "honest.json"), "w") as fh:
+            json.dump(payload, fh)
+        monkeypatch.setenv("REPRO_SCENARIOS_DIR", str(tmp_path))
+        with pytest.raises(ValidationError, match="declares name"):
+            build_scenario("honest", QUICK)
+
+
+# -- adversarial search units ----------------------------------------------------------
+
+
+class TestAdversarialUnits:
+    def test_regret_is_delivery_gap_plus_capped_overhead(self):
+        from repro.scenario.adversarial import MESSAGE_WEIGHT, regret_score
+
+        adaptive = {"delivery_ratio": 0.4, "total_messages": 900.0}
+        oracle = {"delivery_ratio": 0.9, "total_messages": 300.0}
+        # gap 0.5, overhead (900-300)/300 = 2 capped at 1
+        assert regret_score(adaptive, oracle) == pytest.approx(
+            0.5 + MESSAGE_WEIGHT
+        )
+
+    def test_regret_never_negative_and_never_overhead_dominated(self):
+        from repro.scenario.adversarial import regret_score
+
+        better = {"delivery_ratio": 0.95, "total_messages": 100.0}
+        worse_oracle = {"delivery_ratio": 0.2, "total_messages": 5.0}
+        score = regret_score(better, worse_oracle)
+        # adaptive beats the oracle on delivery: only the (capped)
+        # overhead tiebreaker remains
+        assert 0.0 <= score <= 0.1
+
+    def test_shrink_candidates_drop_one_event_each_plus_duration(self):
+        from repro.scenario.adversarial import (
+            _shrink_candidates,
+            _tightened_duration,
+        )
+
+        spec = build_scenario("partition-heal", QUICK)
+        candidates = _shrink_candidates(spec)
+        drop_one = [c for c in candidates if len(c.timeline) ==
+                    len(spec.timeline) - 1]
+        assert len(drop_one) == len(spec.timeline)
+        tight = _tightened_duration(spec)
+        if tight < spec.duration - 1e-9:
+            assert candidates[-1].duration == tight
+        for candidate in candidates:
+            assert candidate.duration > candidate.last_event_time
+
+    def test_hunt_serial_matches_parallel_bit_for_bit(self):
+        from repro.scenario.adversarial import hunt
+
+        serial = hunt(
+            seed="unit", budget=3, scale=QUICK, top=2, trials=1,
+            shrink=False, campaign=Campaign(workers=1, cache=None),
+        )
+        parallel = hunt(
+            seed="unit", budget=3, scale=QUICK, top=2, trials=1,
+            shrink=False, campaign=Campaign(workers=2, cache=None),
+        )
+        assert json.dumps(serial.to_json(), sort_keys=True) == json.dumps(
+            parallel.to_json(), sort_keys=True
+        )
+        assert len(serial.finds) <= 2
+        for find in serial.finds:
+            assert find.regret >= 0.0
+            assert find.spec.name.startswith("gen:unit:")
+
+    def test_hunt_result_round_trips_and_renders(self):
+        from repro.scenario.adversarial import hunt, parse_hunt_json
+
+        result = hunt(
+            seed="unit2", budget=2, scale=QUICK, top=1, trials=1,
+            shrink=False, campaign=Campaign(workers=1, cache=None),
+        )
+        payload = json.dumps(result.to_json())
+        parsed = parse_hunt_json(payload)
+        assert parsed["seed"] == "unit2"
+        assert parsed["budget"] == 2
+        text = result.render()
+        assert "regret" in text
+        assert "gen:unit2:" in text

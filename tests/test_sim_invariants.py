@@ -1,0 +1,165 @@
+"""Invariant-checker smoke over generated scenarios + engine guarantees.
+
+The :class:`~repro.sim.monitors.InvariantMonitor` asserts on every
+transmission record that the simulation never delivers to a crashed
+process, never transmits across a non-existent or severed link, and
+never stamps a record outside ``[0, now]``.  Here it rides along a batch
+of generated scenarios at quick scale — any violation surfaces as an
+:class:`~repro.sim.monitors.InvariantViolation` from inside the run.
+The engine-level tests pin the guarantees the monitor builds on:
+cancelled events never fire and nothing schedules in the past.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, UnreachableTargetError
+from repro.experiments.runner import current_scale
+from repro.protocols.registry import resolve_protocol
+from repro.scenario.generate import ScenarioGenerator
+from repro.scenario.schema import ScenarioSpec
+from repro.scenario.trial import _deploy, _workload_origins, run_scenario_trial
+from repro.sim.dynamics import DynamicsDriver
+from repro.sim.engine import Simulator
+from repro.sim.monitors import (
+    BroadcastMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+)
+from repro.sim.network import Network, NetworkOptions
+from repro.util.rng import RandomSource
+
+SMOKE_SCENARIOS = 50
+
+
+def _run_monitored(spec: ScenarioSpec, protocol: str = "gossip", trial: int = 0):
+    """``run_scenario_trial`` with an :class:`InvariantMonitor` attached.
+
+    Mirrors the trial runner's setup exactly (same seed derivation, same
+    deploy/driver ordering) so the monitored run exercises the very
+    event sequences the experiments measure.
+    """
+    proto = resolve_protocol(protocol)
+    graph, tiers = spec.topology.build_with_tiers()
+    config = spec.environment.base_configuration(graph, tiers)
+    sim = Simulator()
+    root = RandomSource("repro-scenario", spec.name, proto.name, trial)
+    options = NetworkOptions(
+        crash_model=spec.environment.crash_model,
+        markov_mean_down_ticks=spec.environment.mean_down_ticks,
+    )
+    network = Network(sim, config, root.child("net"), options=options)
+    monitor = BroadcastMonitor(graph.n)
+    _deploy(proto, spec, network, monitor, root, None)
+    driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
+    driver.install()
+    invariants = InvariantMonitor(
+        sim, network, event_times=[e.at for e in spec.timeline]
+    )
+
+    times = spec.workload.broadcast_times()
+    origins = _workload_origins(spec, trial, len(times))
+
+    def issue(origin: int) -> None:
+        try:
+            network.process(origin).broadcast({"scenario": spec.name})
+        except UnreachableTargetError:
+            if not proto.plans:
+                raise
+
+    for when, origin in zip(times, origins):
+        if when >= spec.duration:
+            continue
+        sim.schedule_at(when, lambda o=origin: issue(o), name="workload")
+
+    network.start()
+    sim.run(until=spec.duration)
+    return network, driver, invariants
+
+
+def test_invariants_hold_over_generated_scenarios():
+    """~50 generated scenarios run to completion under the checker."""
+    generator = ScenarioGenerator("invariants", current_scale("quick"))
+    total_checked = 0
+    for spec in generator.specs(SMOKE_SCENARIOS):
+        _, driver, invariants = _run_monitored(spec)
+        assert invariants.records_checked > 0, spec.name
+        assert len(driver.applied_events) == len(spec.timeline), spec.name
+        # one base epoch plus one snapshot per distinct timeline instant
+        assert invariants.epochs == 1 + len({e.at for e in spec.timeline})
+        total_checked += invariants.records_checked
+    assert total_checked > SMOKE_SCENARIOS  # the runs actually sent traffic
+
+
+def test_invariants_hold_for_planning_protocol():
+    """Planning protocols (failed plans allowed) also stay invariant-clean."""
+    generator = ScenarioGenerator("invariants", current_scale("quick"))
+    for spec in generator.specs(5):
+        _, _, invariants = _run_monitored(spec, protocol="adaptive")
+        assert invariants.records_checked > 0, spec.name
+
+
+def test_monitor_is_metrics_transparent():
+    """A monitored run reports the exact counters an unmonitored one does."""
+    spec = ScenarioGenerator("transparent", current_scale("quick")).generate(0)
+    network, _, invariants = _run_monitored(spec)
+    reference = run_scenario_trial(spec, "gossip", 0)
+    assert invariants.records_checked == network.stats.sent()
+    assert float(network.stats.sent()) == reference["total_messages"]
+    assert network.stats.delivered() == network.stats.sent() - network.stats.dropped()
+
+
+def test_monitor_rejects_phantom_link_delivery():
+    """The checker is not vacuous: a fabricated record across a
+    non-existent link trips it."""
+    spec = ScenarioGenerator("phantom", current_scale("quick")).generate(0)
+    network, _, invariants = _run_monitored(spec)
+    graph = network.graph
+    sender = 0
+    receiver = next(
+        p for p in range(1, graph.n) if not graph.has_link(sender, p)
+    )
+    with pytest.raises(InvariantViolation):
+        invariants._check_record(0.0, sender, receiver, False, None)
+
+
+def test_monitor_rejects_record_from_the_future():
+    spec = ScenarioGenerator("phantom", current_scale("quick")).generate(0)
+    network, _, invariants = _run_monitored(spec)
+    future = network.sim.now + 1.0
+    with pytest.raises(InvariantViolation):
+        invariants._check_record(future, 0, 1, True, None)
+
+
+def test_cancelled_events_never_fire():
+    sim = Simulator(trace=True)
+    fired = []
+    keep = sim.schedule(1.0, lambda: fired.append("keep"), name="keep")
+    drop = sim.schedule(2.0, lambda: fired.append("drop"), name="drop")
+    drop.cancel()
+    assert keep.active and not drop.active
+    sim.run()
+    assert fired == ["keep"]
+    assert [r for r in sim.trace if r.detail == "drop"] == []
+
+
+def test_cancelled_event_mid_run_never_fires():
+    """Cancellation from an earlier callback suppresses a queued event."""
+    sim = Simulator()
+    fired = []
+    victim = sim.schedule(5.0, lambda: fired.append("victim"))
+    sim.schedule(1.0, victim.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_nothing_schedules_in_the_past():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert sim.now == 3.0
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(2.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        sim.schedule(-1.0, lambda: None)
