@@ -68,6 +68,9 @@ from repro.results.schema import (
     ResultSet,
     diff_result_sets,
 )
+from repro.membership.quality import ViewQualityMonitor
+from repro.membership.sampler import MembershipParams, PeerSampler, ViewExchange
+from repro.membership.service import PeerSamplingService
 from repro.results.store import ResultStore, resolve_result
 from repro.scenario.adversarial import Find, HuntResult
 from repro.scenario.adversarial import hunt as run_hunt
@@ -101,6 +104,12 @@ __all__ = [
     "ScenarioGenerator",
     "HuntResult",
     "Find",
+    # membership surface
+    "MembershipParams",
+    "PeerSampler",
+    "PeerSamplingService",
+    "ViewExchange",
+    "ViewQualityMonitor",
     # experiment surface
     "ExperimentSpec",
     "ExperimentContext",

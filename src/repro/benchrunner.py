@@ -260,6 +260,42 @@ def bench_scenario_hunt(scale_name: str) -> Dict[str, float]:
     return {"wall_s": wall, "trials": float(campaign.executed)}
 
 
+def bench_membership_exchange(scale_name: str) -> Dict[str, float]:
+    """Peer-sampling exchange throughput: a standalone membership overlay.
+
+    ``PeerSamplingService`` on every node of a connectivity-6 graph with
+    crash + loss draws enabled, gossiping views for a fixed simulated
+    horizon — the pure cost of the membership layer (exchange timers,
+    view merges, CONTROL traffic) with no broadcast protocol on top.
+    """
+    from repro.membership.sampler import MembershipParams
+    from repro.membership.service import PeerSamplingService
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+    from repro.topology.configuration import Configuration
+    from repro.topology.generators import k_regular
+    from repro.util.rng import RandomSource
+
+    sizes = {"quick": (64, 600.0), "default": (128, 1200.0), "full": (256, 2400.0)}
+    n, horizon = sizes.get(scale_name, sizes["default"])
+    graph = k_regular(n, 6)
+    config = Configuration.uniform(graph, crash=0.02, loss=0.05)
+    sim = Simulator()
+    root = RandomSource("bench-membership")
+    network = Network(sim, config, root)
+    params = MembershipParams(view_size=8, exchange_period=5.0)
+    services = [
+        PeerSamplingService(p, network, params, rng=root)
+        for p in graph.processes
+    ]
+    assert services
+    network.start()
+    start = time.perf_counter()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "events": float(sim.executed_events)}
+
+
 #: Registered benches in execution order.
 BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "engine-events": bench_engine_events,
@@ -268,6 +304,7 @@ BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "figure4a-cell": bench_figure4a_cell,
     "scenario-generate": bench_scenario_generate,
     "scenario-hunt": bench_scenario_hunt,
+    "membership-exchange": bench_membership_exchange,
 }
 
 

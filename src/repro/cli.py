@@ -937,6 +937,13 @@ def _run_list() -> int:
         "(protocol comparisons under stress)"
     )
     print(f"  built-ins: {', '.join(scenario_names())}")
+    from repro.scenario.registry import promoted_names, scenarios_dir
+
+    promoted = promoted_names()
+    if promoted:
+        print(
+            f"  promoted ({scenarios_dir()}/): {', '.join(promoted)}"
+        )
     print(
         f"  run --sweep keys: {', '.join(SCENARIO_SWEEP_KEYS)} "
         "+ protocol.param (e.g. gossip.rounds)"
@@ -1072,15 +1079,16 @@ def _run_scenario(args: argparse.Namespace) -> int:
         from repro.scenario.registry import promoted_names, scenarios_dir
 
         scale = current_scale(None)
-        width = max(len(n) for n in scenario_names())
+        promoted = promoted_names()
+        width = max(len(n) for n in scenario_names() + promoted)
         for name in scenario_names():
             spec = build_scenario(name, scale)
-            print(f"  {name:<{width}}  {spec.description}")
-        promoted = promoted_names()
+            print(f"  {name:<{width}}  built-in  {spec.description}")
+        for name in promoted:
+            spec = build_scenario(name, scale)
+            print(f"  {name:<{width}}  promoted  {spec.description}")
         if promoted:
-            print(f"\n  promoted ({scenarios_dir()}/):")
-            for name in promoted:
-                print(f"    {name}")
+            print(f"\n  promoted scenarios load from {scenarios_dir()}/")
         print(
             f"\n  {scenario_trials(scale)} trials/protocol at "
             f"{scale.name} scale; 'repro scenario describe <name>' for "

@@ -107,6 +107,10 @@ class UnknownExperimentError(UnknownNameError):
     """An experiment name did not resolve against the experiment registry."""
 
 
+class UnknownScenarioError(UnknownNameError):
+    """A scenario name matched no built-in, generated or promoted scenario."""
+
+
 class CalibrationError(ReproError):
     """The baseline round calibration failed to reach the target reliability."""
 

@@ -188,6 +188,25 @@ class Figure6Params:
 
 
 @dataclass(frozen=True)
+class MembershipExperimentParams:
+    """Axes of the membership study: policy triples, view sizes, scenarios.
+
+    ``policy`` entries are ``view:peer:propagation`` triples drawn from
+    the :mod:`repro.membership` policy families, e.g.
+    ``head:rand:pushpull``.
+    """
+
+    view_size: Optional[Tuple[int, ...]] = None
+    policy: Optional[Tuple[str, ...]] = None
+    scenario: Optional[Tuple[str, ...]] = None
+    protocol: Optional[str] = None
+    trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_trials(self.trials)
+
+
+@dataclass(frozen=True)
 class HeterogeneousParams:
     """Axes of the heterogeneous extension: connectivity grid, mean loss."""
 
@@ -707,6 +726,20 @@ def _figure6_aggregate(
     return ResultSet.from_table("figure6", table)
 
 
+def _membership_build(ctx: ExperimentContext) -> List[TrialSpec]:
+    from repro.experiments.membership import membership_build
+
+    return membership_build(ctx.scale, ctx.params)
+
+
+def _membership_aggregate(
+    ctx: ExperimentContext, results: Sequence[TrialResult]
+) -> ResultSet:
+    from repro.experiments.membership import membership_aggregate
+
+    return membership_aggregate(ctx.scale, ctx.params, results)
+
+
 def _heterogeneous_build(ctx: ExperimentContext) -> List[TrialSpec]:
     from repro.experiments.heterogeneous import heterogeneity_build
 
@@ -819,6 +852,17 @@ register_experiment(
         params_type=Figure6Params,
         build=_figure6_build,
         aggregate=_figure6_aggregate,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        name="membership",
+        description="partial-view quality: policy triples x view sizes (simulated)",
+        artefact="Membership study",
+        aliases=("peer-sampling", "pv"),
+        params_type=MembershipExperimentParams,
+        build=_membership_build,
+        aggregate=_membership_aggregate,
     )
 )
 register_experiment(

@@ -1,0 +1,35 @@
+"""Peer-sampling membership: bounded partial views over the link graph.
+
+Full-membership protocols hold the entire configuration in every
+process.  This layer replaces that assumption with a Jelasity-style
+peer-sampling service: each process maintains a small, aging *partial
+view* of its link-neighbourhood, refreshed by periodic gossip exchanges
+whose propagation (push / pull / pushpull) and selection (head / tail /
+rand) policies are pluggable.  Broadcast protocols consume the sampled
+view instead of the global configuration (see
+``repro.protocols.partial_view``).
+
+All randomness comes from seeded :class:`~repro.util.rng.RandomSource`
+child streams and all timing from the simulation engine, so membership
+traffic is bit-identical across runs and worker counts.
+"""
+
+from repro.membership.sampler import (
+    MembershipParams,
+    PeerSampler,
+    PROPAGATION_POLICIES,
+    SELECTION_POLICIES,
+    ViewExchange,
+)
+from repro.membership.service import PeerSamplingService
+from repro.membership.quality import ViewQualityMonitor
+
+__all__ = [
+    "MembershipParams",
+    "PeerSampler",
+    "PeerSamplingService",
+    "PROPAGATION_POLICIES",
+    "SELECTION_POLICIES",
+    "ViewExchange",
+    "ViewQualityMonitor",
+]

@@ -1,0 +1,69 @@
+"""The standalone peer-sampling service process.
+
+``PeerSamplingService`` is the thinnest possible host around a
+:class:`~repro.membership.sampler.PeerSampler`: a periodic engine timer
+drives active exchanges, incoming :class:`ViewExchange` payloads are
+routed into the sampler, and membership traffic travels as
+``MessageCategory.CONTROL`` so it stays distinguishable from protocol
+data in the message accounting.
+
+Deploy one per process for membership-only studies (the ``churn-storm``
+soak, the ``membership-exchange`` bench); broadcast protocols that want
+a sampled view embed a :class:`PeerSampler` directly instead (see
+``repro.protocols.partial_view``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.membership.sampler import MembershipParams, PeerSampler, ViewExchange
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.trace import MessageCategory
+from repro.types import ProcessId
+from repro.util.rng import RandomSource
+
+
+class PeerSamplingService(SimProcess):
+    """One membership service instance: a sampler plus its drive timer."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        params: Optional[MembershipParams] = None,
+        *,
+        rng: RandomSource,
+    ) -> None:
+        super().__init__(pid, network)
+        self.params = params or MembershipParams()
+        # the sampler lives in a plain attribute: like the adaptive
+        # protocol's knowledge view it has stable-storage semantics and
+        # survives burst crashes (the peer keeps its last known view)
+        self.sampler = PeerSampler(
+            pid, self.neighbors, self.params, rng.child("membership", pid)
+        )
+
+    # -- SimProcess hooks ----------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.set_periodic(
+            self.params.exchange_period, "membership-exchange", self._exchange
+        )
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        self.sampler.handle(sender, payload, self._send_control)
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _exchange(self) -> None:
+        self.sampler.begin_exchange(self._send_control)
+
+    def _send_control(self, peer: ProcessId, message: ViewExchange) -> bool:
+        return self.send(peer, message, category=MessageCategory.CONTROL)
+
+    @property
+    def view(self) -> Tuple[ProcessId, ...]:
+        """The currently sampled peers (sorted)."""
+        return self.sampler.view_peers()

@@ -72,6 +72,14 @@ from repro.errors import (
 )
 from repro.protocols.flooding import FloodingBroadcast
 from repro.protocols.gossip import GossipBroadcast, GossipParameters
+from repro.protocols.partial_view import (
+    AdaptivePVBroadcast,
+    AdaptivePVParams,
+    FloodingPVBroadcast,
+    FloodingPVParams,
+    GossipPVBroadcast,
+    GossipPVParams,
+)
 from repro.protocols.twophase import TwoPhaseBroadcast, TwoPhaseParameters
 from repro.sim.monitors import BroadcastMonitor
 from repro.sim.network import Network
@@ -606,6 +614,51 @@ def _deploy_two_phase(ctx: DeployContext) -> List[object]:
     ]
 
 
+def _deploy_gossip_pv(ctx: DeployContext) -> List[object]:
+    params: GossipPVParams = ctx.params or GossipPVParams()
+    return [
+        GossipPVBroadcast(
+            p,
+            ctx.network,
+            ctx.monitor,
+            ctx.k_target,
+            params,
+            rng=ctx.rng.child("membership", p),
+        )
+        for p in ctx.processes
+    ]
+
+
+def _deploy_flooding_pv(ctx: DeployContext) -> List[object]:
+    params: FloodingPVParams = ctx.params or FloodingPVParams()
+    return [
+        FloodingPVBroadcast(
+            p,
+            ctx.network,
+            ctx.monitor,
+            ctx.k_target,
+            params,
+            rng=ctx.rng.child("membership", p),
+        )
+        for p in ctx.processes
+    ]
+
+
+def _deploy_adaptive_pv(ctx: DeployContext) -> List[object]:
+    params: AdaptivePVParams = ctx.params or AdaptivePVParams()
+    return [
+        AdaptivePVBroadcast(
+            p,
+            ctx.network,
+            ctx.monitor,
+            ctx.k_target,
+            params,
+            rng=ctx.rng.child("membership", p),
+        )
+        for p in ctx.processes
+    ]
+
+
 def _adaptive_scenario_defaults(spec: Any) -> Dict[str, Any]:
     return {"intervals": SCENARIO_KNOWLEDGE.intervals}
 
@@ -678,5 +731,42 @@ register_protocol(
         needs_rng=True,
         default_compare=False,  # heavyweight baseline: opt-in via --protocols
         scenario_defaults=_two_phase_scenario_defaults,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="gossip-pv",
+        factory=_deploy_gossip_pv,
+        description="Section 5 gossip stepping over a sampled partial view",
+        aliases=("pv-gossip", "gossip-partial-view"),
+        params_type=GossipPVParams,
+        needs_rng=True,
+        default_compare=False,  # partial-view family: opt-in via --protocols
+        scenario_defaults=_gossip_scenario_defaults,
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="flooding-pv",
+        factory=_deploy_flooding_pv,
+        description="forward-once flood over a sampled partial view",
+        aliases=("pv-flooding", "flooding-partial-view"),
+        params_type=FloodingPVParams,
+        needs_rng=True,
+        default_compare=False,  # partial-view family: opt-in via --protocols
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name="adaptive-pv",
+        factory=_deploy_adaptive_pv,
+        description="adaptive algorithm learning (Lambda_k, C_k) via a sampled view",
+        aliases=("pv-adaptive", "adaptive-partial-view"),
+        params_type=AdaptivePVParams,
+        plans=True,
+        learns=True,
+        needs_rng=True,
+        default_compare=False,  # partial-view family: opt-in via --protocols
+        scenario_defaults=_adaptive_scenario_defaults,
     )
 )

@@ -28,7 +28,7 @@ import re
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ValidationError
+from repro.errors import UnknownScenarioError, ValidationError, did_you_mean
 from repro.experiments.runner import ExperimentScale, current_scale
 from repro.scenario.schema import (
     BurstToggle,
@@ -214,6 +214,38 @@ def _churn_mill(scale: ExperimentScale) -> ScenarioSpec:
     )
 
 
+def _churn_storm(scale: ExperimentScale) -> ScenarioSpec:
+    """Mass churn: leave/join waves proportional to the system size.
+
+    Unlike the other builders this one honours ``scale.n`` *uncapped*:
+    the scenario exists to soak the membership layer under thousands of
+    processes and hundreds of churn events (``--sweep n=2000`` yields
+    ``n // 8`` leave/join wave pairs — 500 events), and partial views
+    are exactly the mechanism that keeps such runs tractable.
+    """
+    s = _stretch(scale)
+    n = max(8, scale.n)  # deliberately NOT capped at MAX_SCENARIO_N
+    waves = max(3, n // 8)
+    start = 30.0 * s
+    duration = 240.0 * s
+    spacing = (duration - start - 10.0 * s) / waves
+    timeline: List[object] = []
+    for i in range(waves):
+        p = (i * 13 + 7) % n
+        at = start + i * spacing
+        timeline.append(ProcessLeave(at=at, process=p))
+        timeline.append(ProcessJoin(at=at + 0.5 * spacing, process=p))
+    return ScenarioSpec(
+        name="churn-storm",
+        description=f"{waves} leave/join waves over a {n}-process mesh",
+        topology=TopologySpec(kind="k_regular", n=n, degree=4),
+        environment=EnvironmentSpec(loss=0.02),
+        timeline=tuple(timeline),
+        workload=WorkloadSpec(period=90.0 * s, start=20.0 * s, count=2),
+        duration=duration,
+    )
+
+
 _BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
     "partition-heal": _partition_heal,
     "wan-brownout": _wan_brownout,
@@ -223,6 +255,7 @@ _BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
     "burst-storm": _burst_storm,
     "crash-wave": _crash_wave,
     "churn-mill": _churn_mill,
+    "churn-storm": _churn_storm,
 }
 
 
@@ -333,11 +366,13 @@ def build_scenario(
     promoted = _load_promoted(name, directory=None)
     if promoted is not None:
         return promoted
-    raise ValidationError(
+    suggestion, hint = did_you_mean(name, scenario_names() + promoted_names())
+    raise UnknownScenarioError(
         f"unknown scenario {name!r}; built-ins: "
         + ", ".join(scenario_names())
         + "; generated scenarios use gen:<seed>:<index>; promoted "
-        f"scenarios live under {scenarios_dir()!r}"
+        f"scenarios live under {scenarios_dir()!r}" + hint,
+        suggestion=suggestion,
     )
 
 

@@ -52,8 +52,9 @@ from repro.protocols.registry import (
     ProtocolSpec,
     resolve_protocol,
 )
+from repro.membership.quality import ViewQualityMonitor
 from repro.scenario.registry import build_scenario
-from repro.scenario.schema import ScenarioSpec
+from repro.scenario.schema import Heal, ScenarioSpec
 from repro.sim.dynamics import DynamicsDriver
 from repro.sim.engine import Simulator
 from repro.sim.monitors import BroadcastMonitor, ConvergenceMonitor
@@ -67,8 +68,10 @@ __all__ = [
     "canonical_spec_json",
     "run_scenario_trial",
     "scenario_trial_task",
+    "membership_trial_task",
     "spec_trial_task",
     "TRIAL_FN",
+    "MEMBERSHIP_TRIAL_FN",
     "SPEC_TRIAL_FN",
 ]
 
@@ -130,6 +133,8 @@ def run_scenario_trial(
     protocol: str,
     trial: int,
     params: Optional[Dict[str, Dict[str, object]]] = None,
+    *,
+    view_quality: bool = False,
 ) -> Dict[str, float]:
     """Run one seeded trial; returns the flat metric dict.
 
@@ -140,6 +145,13 @@ def run_scenario_trial(
         trial: trial index (the only per-repetition seed input).
         params: optional per-protocol parameter overrides, keyed by
             protocol name, e.g. ``{"gossip": {"rounds": 4}}``.
+        view_quality: attach a
+            :class:`~repro.membership.quality.ViewQualityMonitor` to the
+            deployed samplers and merge its ``view_*`` metrics into the
+            result.  Requires a partial-view protocol (nodes exposing a
+            ``.sampler``).  The monitor is omniscient — message-free and
+            RNG-free — so the base metrics stay bit-identical whether or
+            not it is attached.
     """
     proto = resolve_protocol(protocol)
     param_overrides = _canonical_params(params).get(proto.name)
@@ -157,6 +169,23 @@ def run_scenario_trial(
 
     driver = DynamicsDriver(network, spec.timeline, name=spec.name, tiers=tiers)
     driver.install()
+
+    quality: Optional[ViewQualityMonitor] = None
+    if view_quality:
+        samplers = {
+            node.pid: node.sampler
+            for node in nodes
+            if hasattr(node, "sampler")
+        }
+        if not samplers:
+            raise ValidationError(
+                f"view_quality metrics need a partial-view protocol "
+                f"(nodes with a .sampler); {proto.name!r} has none"
+            )
+        heal_times = [e.at for e in spec.timeline if isinstance(e, Heal)]
+        quality = ViewQualityMonitor(
+            sim, network, samplers, heal_times=heal_times
+        )
 
     times = spec.workload.broadcast_times()
     origins = _workload_origins(spec, trial, len(times))
@@ -226,6 +255,8 @@ def run_scenario_trial(
         else:
             result["reconverged"] = 0.0
             result["reconv_time"] = window
+    if quality is not None:
+        result.update(quality.summary())
     return result
 
 
@@ -273,6 +304,42 @@ def scenario_trial_task(
 
 
 TRIAL_FN = "repro.scenario.trial:scenario_trial_task"
+
+
+def membership_trial_task(
+    *,
+    scenario: str,
+    protocol: str,
+    scale: str,
+    trial: int,
+    n: Optional[int] = None,
+    loss: Optional[float] = None,
+    crash: Optional[float] = None,
+    duration: Optional[float] = None,
+    params: Optional[str] = None,
+) -> Dict[str, float]:
+    """Campaign task: one partial-view trial with view-quality metrics.
+
+    Identical to :func:`scenario_trial_task` — same seeds, same base
+    metrics — plus the ``view_*`` columns of the
+    :class:`~repro.membership.quality.ViewQualityMonitor`.  Used by the
+    ``membership`` experiment.
+    """
+    scale_obj = current_scale(str(scale))
+    if n is not None:
+        scale_obj = scaled(scale_obj, n=int(n))
+    spec = build_scenario(str(scenario), scale_obj)
+    spec = spec.with_overrides(loss=loss, crash=crash, duration=duration)
+    return run_scenario_trial(
+        spec,
+        str(protocol),
+        int(trial),
+        params=decode_params(params),
+        view_quality=True,
+    )
+
+
+MEMBERSHIP_TRIAL_FN = "repro.scenario.trial:membership_trial_task"
 
 
 def canonical_spec_json(spec: ScenarioSpec) -> str:

@@ -174,6 +174,24 @@ def test_scenario_partition_heal_digest(protocol):
     _check(f"scenario-partition-heal-{protocol}", _scenario_payload(protocol))
 
 
+def test_membership_churn_mill_digest():
+    """A pinned gossip-pv churn-mill trial (with view metrics) stays golden.
+
+    Covers the whole membership chain: sampler bootstrap, seeded policy
+    draws, exchange wire traffic, churn age-out and the
+    ``ViewQualityMonitor`` columns.  Any drift in the peer-sampling RNG
+    consumption or exchange ordering shows up here.
+    """
+    from repro.experiments.runner import current_scale
+    from repro.scenario.registry import build_scenario
+    from repro.scenario.trial import run_scenario_trial
+
+    spec = build_scenario("churn-mill", current_scale("quick"))
+    metrics = run_scenario_trial(spec, "gossip-pv", trial=0, view_quality=True)
+    payload = json.dumps({k: repr(v) for k, v in metrics.items()}, sort_keys=True)
+    _check("membership-churn-mill-gossip-pv", payload)
+
+
 def test_generated_scenario_digest():
     """One pinned generator coordinate stays golden end to end.
 

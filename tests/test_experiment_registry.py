@@ -80,6 +80,7 @@ class TestBuiltins:
             "figure5a",
             "figure5b",
             "figure6",
+            "membership",
             "heterogeneous",
         )
 

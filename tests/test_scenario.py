@@ -120,8 +120,9 @@ class TestSchema:
 
 
 class TestRegistry:
-    def test_eight_builtins(self):
-        assert len(scenario_names()) == 8
+    def test_nine_builtins(self):
+        assert len(scenario_names()) == 9
+        assert "churn-storm" in scenario_names()
 
     def test_every_builtin_builds_at_every_scale(self):
         for name in scenario_names():
