@@ -68,6 +68,11 @@ from repro.results.schema import (
     ResultSet,
     diff_result_sets,
 )
+from repro.kvstore.clocks import VectorClock
+from repro.kvstore.metrics import KVMetricsMonitor
+from repro.kvstore.replica import KVReplica, KVWrite
+from repro.kvstore.trial import run_kv_trial
+from repro.kvstore.workload import KVWorkloadParams, WorkloadGenerator
 from repro.membership.quality import ViewQualityMonitor
 from repro.membership.sampler import MembershipParams, PeerSampler, ViewExchange
 from repro.membership.service import PeerSamplingService
@@ -110,6 +115,14 @@ __all__ = [
     "PeerSamplingService",
     "ViewExchange",
     "ViewQualityMonitor",
+    # kvstore surface
+    "VectorClock",
+    "KVReplica",
+    "KVWrite",
+    "KVWorkloadParams",
+    "KVMetricsMonitor",
+    "WorkloadGenerator",
+    "run_kv_trial",
     # experiment surface
     "ExperimentSpec",
     "ExperimentContext",

@@ -296,6 +296,28 @@ def bench_membership_exchange(scale_name: str) -> Dict[str, float]:
     return {"wall_s": wall, "events": float(sim.executed_events)}
 
 
+def bench_kv_replication(scale_name: str) -> Dict[str, float]:
+    """Causal KV replication throughput on the hot-key-storm scenario.
+
+    Full application-layer trials — gossip replication, vector-clock
+    stamping, causal buffering, the KV metrics monitor — so the bench
+    times the whole "what does the user see" path, not just the
+    transport.
+    """
+    from repro.experiments.runner import current_scale
+    from repro.kvstore.trial import run_kv_trial
+    from repro.scenario.registry import build_scenario
+
+    counts = {"quick": 2, "default": 4, "full": 8}
+    trials = counts.get(scale_name, 4)
+    spec = build_scenario("hot-key-storm", current_scale(scale_name))
+    start = time.perf_counter()
+    for trial in range(trials):
+        run_kv_trial(spec, "gossip", trial)
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "trials": float(trials)}
+
+
 #: Registered benches in execution order.
 BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "engine-events": bench_engine_events,
@@ -305,6 +327,7 @@ BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "scenario-generate": bench_scenario_generate,
     "scenario-hunt": bench_scenario_hunt,
     "membership-exchange": bench_membership_exchange,
+    "kv-replication": bench_kv_replication,
 }
 
 

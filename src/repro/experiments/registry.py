@@ -207,6 +207,28 @@ class MembershipExperimentParams:
 
 
 @dataclass(frozen=True)
+class KVExperimentParams:
+    """Axes of the KV-store study: protocols × workload mixes × scenarios.
+
+    ``zipf_s`` and ``write_ratio`` widen the workload-mix grid; ``keys``,
+    ``ops`` and ``regions`` are scalar workload knobs shared by every
+    cell (see :class:`repro.kvstore.workload.KVWorkloadParams`).
+    """
+
+    scenario: Optional[Tuple[str, ...]] = None
+    protocol: Optional[Tuple[str, ...]] = None
+    zipf_s: Optional[Tuple[float, ...]] = None
+    write_ratio: Optional[Tuple[float, ...]] = None
+    keys: Optional[int] = None
+    ops: Optional[int] = None
+    regions: Optional[int] = None
+    trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_trials(self.trials)
+
+
+@dataclass(frozen=True)
 class HeterogeneousParams:
     """Axes of the heterogeneous extension: connectivity grid, mean loss."""
 
@@ -300,17 +322,36 @@ class ExperimentSpec:
                 f"or a dict, got {type(overrides).__name__}"
             )
         hints = get_type_hints(self.params_type)
-        names = self.sweep_keys()
         values: Dict[str, Any] = {}
         for key, value in overrides.items():
-            if key not in names:
-                _, hint = did_you_mean(key, names)
-                raise ValidationError(
-                    f"experiment {self.name!r} does not sweep {key!r}; "
-                    f"supported keys: {', '.join(names) or 'none'}{hint}"
-                )
-            values[key] = _coerce_axis(self.name, key, hints[key], value)
+            axis = self._axis_name(key)
+            values[axis] = _coerce_axis(self.name, axis, hints[axis], value)
         return self.params_type(**values)
+
+    def _axis_name(self, key: str) -> str:
+        """Resolve one override key to a sweep axis, or raise helpfully.
+
+        Keys may carry the experiment's own name (or an alias) as a
+        dotted prefix — ``kvstore.zipf_s`` means ``zipf_s`` — so sweep
+        spellings stay uniform with the protocol registry's
+        ``protocol.param`` convention.  Unknown axes raise the same
+        ``did_you_mean`` suggestion shape as protocols and scenarios:
+        ``--sweep kvstore.zipff_s=...`` suggests ``zipf_s`` and exits 2.
+        """
+        names = self.sweep_keys()
+        bare = str(key)
+        if "." in bare:
+            prefix, _, rest = bare.partition(".")
+            owners = {_norm(self.name), *(_norm(a) for a in self.aliases)}
+            if _norm(prefix) in owners and rest:
+                bare = rest
+        if bare in names:
+            return bare
+        _, hint = did_you_mean(bare, names)
+        raise ValidationError(
+            f"experiment {self.name!r} does not sweep {bare!r}; "
+            f"supported keys: {', '.join(names) or 'none'}{hint}"
+        )
 
     def run(
         self,
@@ -740,6 +781,20 @@ def _membership_aggregate(
     return membership_aggregate(ctx.scale, ctx.params, results)
 
 
+def _kvstore_build(ctx: ExperimentContext) -> List[TrialSpec]:
+    from repro.experiments.kvstore import kvstore_build
+
+    return kvstore_build(ctx.scale, ctx.params)
+
+
+def _kvstore_aggregate(
+    ctx: ExperimentContext, results: Sequence[TrialResult]
+) -> ResultSet:
+    from repro.experiments.kvstore import kvstore_aggregate
+
+    return kvstore_aggregate(ctx.scale, ctx.params, results)
+
+
 def _heterogeneous_build(ctx: ExperimentContext) -> List[TrialSpec]:
     from repro.experiments.heterogeneous import heterogeneity_build
 
@@ -863,6 +918,17 @@ register_experiment(
         params_type=MembershipExperimentParams,
         build=_membership_build,
         aggregate=_membership_aggregate,
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        name="kvstore",
+        description="causal KV store: protocols x workload mixes (simulated)",
+        artefact="KV application study",
+        aliases=("kv", "kv-store"),
+        params_type=KVExperimentParams,
+        build=_kvstore_build,
+        aggregate=_kvstore_aggregate,
     )
 )
 register_experiment(

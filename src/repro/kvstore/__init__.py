@@ -1,0 +1,34 @@
+"""A causally consistent replicated key-value store over the broadcast stack.
+
+The application layer the paper's protocols exist to serve: every
+simulated process hosts a :class:`~repro.kvstore.replica.KVReplica`
+whose writes replicate through any registered broadcast protocol.
+Causal consistency comes from :class:`~repro.kvstore.clocks.VectorClock`
+stamps plus a hold-back buffer (out-of-order writes wait for their
+dependencies), convergence from last-writer-wins over a deterministic
+total order extending happens-before.
+
+The subsystem turns "did the broadcast arrive" experiments into "what
+does the user see" experiments: :class:`~repro.kvstore.metrics.KVMetricsMonitor`
+measures read staleness, write visibility latency, causal-buffer
+occupancy and post-disruption convergence, and
+:mod:`repro.kvstore.workload` drives it all with seeded
+production-shaped traffic (Zipf hot keys, flash-crowd surges,
+multi-region clients).
+"""
+
+from repro.kvstore.clocks import VectorClock
+from repro.kvstore.metrics import KVMetricsMonitor
+from repro.kvstore.replica import CausalOrderError, KVReplica, KVWrite
+from repro.kvstore.workload import KVOp, KVWorkloadParams, WorkloadGenerator
+
+__all__ = [
+    "CausalOrderError",
+    "KVMetricsMonitor",
+    "KVOp",
+    "KVReplica",
+    "KVWorkloadParams",
+    "KVWrite",
+    "VectorClock",
+    "WorkloadGenerator",
+]

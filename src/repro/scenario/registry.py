@@ -17,6 +17,7 @@ The stable of stress patterns:
 ``burst-storm``         crash model toggles into bursty (Markov) mode
 ``crash-wave``          a subset of processes turns crash-heavy
 ``churn-mill``          repeated random leave/join churn cycles
+``hot-key-storm``       a flash-crowd surge slams into a partition
 ======================  ============================================
 """
 
@@ -246,6 +247,36 @@ def _churn_storm(scale: ExperimentScale) -> ScenarioSpec:
     )
 
 
+def _hot_key_storm(scale: ExperimentScale) -> ScenarioSpec:
+    """The KV stress pattern: a surge of traffic meets a partition.
+
+    A workload surge (the KV layer reads it as a Zipf-sharpened
+    flash crowd on the hot keys) starts just before a half/half
+    partition; the cut holds through the surge window and then heals,
+    leaving a long quiescent tail for causal buffers to drain and
+    last-writer-wins convergence to complete in.
+    """
+    s = _stretch(scale)
+    return ScenarioSpec(
+        name="hot-key-storm",
+        description="a hot-key flash crowd slams into a partition, then heals",
+        topology=TopologySpec(kind="k_regular", n=_size(scale), degree=4),
+        environment=EnvironmentSpec(loss=0.02),
+        timeline=(
+            Partition(at=170.0 * s, fraction=0.5),
+            Heal(at=280.0 * s),
+        ),
+        workload=WorkloadSpec(
+            period=90.0 * s,
+            start=40.0 * s,
+            count=3,
+            surge_at=150.0 * s,
+            surge_count=6,
+        ),
+        duration=560.0 * s,
+    )
+
+
 _BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
     "partition-heal": _partition_heal,
     "wan-brownout": _wan_brownout,
@@ -256,6 +287,7 @@ _BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
     "crash-wave": _crash_wave,
     "churn-mill": _churn_mill,
     "churn-storm": _churn_storm,
+    "hot-key-storm": _hot_key_storm,
 }
 
 

@@ -67,11 +67,15 @@ class MessageStats:
         self._sent: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
         self._delivered: Dict[MessageCategory, int] = {c: 0 for c in MessageCategory}
         self._dropped: Dict[DropReason, int] = {r: 0 for r in DropReason}
-        # keyed by the raw canonical (u, v) tuple; Link is itself a tuple
-        # so lookups by Link hit the same entries, and the public
-        # accessors rebuild Link keys — the hot recording path just
-        # avoids one NamedTuple allocation per transmission
-        self._per_link_sent: Dict[LinkKey, int] = {}
+        # one per-link map per category, so protocol overhead (CONTROL,
+        # HEARTBEAT) is attributable separately from DATA replication
+        # traffic; keyed by the raw canonical (u, v) tuple — Link is
+        # itself a tuple so lookups by Link hit the same entries, and the
+        # public accessors rebuild Link keys — the hot recording path
+        # just avoids one NamedTuple allocation per transmission
+        self._per_link_sent: Dict[MessageCategory, Dict[LinkKey, int]] = {
+            c: {} for c in MessageCategory
+        }
         self._trace_enabled = trace
         self._records: List[TransmissionRecord] = []
 
@@ -93,7 +97,7 @@ class MessageStats:
             link = (receiver, sender)
         else:
             raise ValueError(f"self-link at process {sender} is not allowed")
-        per_link = self._per_link_sent
+        per_link = self._per_link_sent[category]
         per_link[link] = per_link.get(link, 0) + 1
         if delivered:
             self._delivered[category] += 1
@@ -122,12 +126,35 @@ class MessageStats:
             return sum(self._dropped.values())
         return self._dropped[reason]
 
-    def sent_on(self, link: Link) -> int:
-        """Messages sent across one link (either direction)."""
-        return self._per_link_sent.get(Link.of(*link), 0)
+    def sent_on(
+        self, link: Link, category: Optional[MessageCategory] = None
+    ) -> int:
+        """Messages sent across one link (either direction).
 
-    def per_link_sent(self) -> Dict[Link, int]:
-        return {Link(*key): count for key, count in self._per_link_sent.items()}
+        ``category`` narrows the count to one traffic class; the default
+        sums every category, bit-identical to the pre-split aggregate.
+        """
+        key = Link.of(*link)
+        if category is not None:
+            return self._per_link_sent[category].get(key, 0)
+        return sum(
+            per_link.get(key, 0) for per_link in self._per_link_sent.values()
+        )
+
+    def per_link_sent(
+        self, category: Optional[MessageCategory] = None
+    ) -> Dict[Link, int]:
+        """Per-link send counts, for one category or summed over all."""
+        if category is not None:
+            return {
+                Link(*key): count
+                for key, count in self._per_link_sent[category].items()
+            }
+        merged: Dict[LinkKey, int] = {}
+        for per_link in self._per_link_sent.values():
+            for key, count in per_link.items():
+                merged[key] = merged.get(key, 0) + count
+        return {Link(*key): count for key, count in merged.items()}
 
     def messages_per_link(
         self, link_count: int, category: Optional[MessageCategory] = None
@@ -160,5 +187,6 @@ class MessageStats:
             self._delivered[cat] = 0
         for reason in DropReason:
             self._dropped[reason] = 0
-        self._per_link_sent.clear()
+        for per_link in self._per_link_sent.values():
+            per_link.clear()
         self._records.clear()

@@ -192,6 +192,25 @@ def test_membership_churn_mill_digest():
     _check("membership-churn-mill-gossip-pv", payload)
 
 
+def test_kvstore_hot_key_storm_digest():
+    """A pinned gossip hot-key-storm KV trial stays golden.
+
+    Covers the whole application chain: the seeded Zipf/surge client
+    schedule, vector-clock stamping, causal hold-back delivery, LWW
+    resolution and every ``kv_*`` monitor metric.  Any drift in the
+    workload RNG consumption, delivery ordering or staleness arithmetic
+    shows up here.
+    """
+    from repro.experiments.runner import current_scale
+    from repro.kvstore.trial import run_kv_trial
+    from repro.scenario.registry import build_scenario
+
+    spec = build_scenario("hot-key-storm", current_scale("quick"))
+    metrics = run_kv_trial(spec, "gossip", trial=0)
+    payload = json.dumps({k: repr(v) for k, v in metrics.items()}, sort_keys=True)
+    _check("kvstore-hot-key-storm-gossip", payload)
+
+
 def test_generated_scenario_digest():
     """One pinned generator coordinate stays golden end to end.
 

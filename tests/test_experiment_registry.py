@@ -81,6 +81,7 @@ class TestBuiltins:
             "figure5b",
             "figure6",
             "membership",
+            "kvstore",
             "heterogeneous",
         )
 

@@ -120,9 +120,10 @@ class TestSchema:
 
 
 class TestRegistry:
-    def test_nine_builtins(self):
-        assert len(scenario_names()) == 9
+    def test_ten_builtins(self):
+        assert len(scenario_names()) == 10
         assert "churn-storm" in scenario_names()
+        assert "hot-key-storm" in scenario_names()
 
     def test_every_builtin_builds_at_every_scale(self):
         for name in scenario_names():
