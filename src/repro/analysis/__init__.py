@@ -6,6 +6,9 @@
   probabilities" criterion of Figures 5/6 and estimate-error metrics.
 * :mod:`repro.analysis.optimality` — checks for Definitions 1/2 and the
   Appendix C/D theorems (MRT maximality, greedy optimality).
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.lint` — the
+  determinism static-analysis pass behind ``repro lint`` (rules
+  D001-D005 plus ``# repro: noqa-det[...]`` suppression).
 """
 
 from repro.analysis.convergence import (
@@ -19,6 +22,13 @@ from repro.analysis.optimality import (
     kruskal_maximum_spanning_weight,
     verify_adaptiveness,
 )
+from repro.analysis.lint import (
+    format_report,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import RULE_CODES, Violation, rule_table
 from repro.analysis.two_paths import (
     adaptive_reach,
     gossip_reach,
@@ -38,4 +48,11 @@ __all__ = [
     "is_maximum_spanning_tree",
     "kruskal_maximum_spanning_weight",
     "verify_adaptiveness",
+    "RULE_CODES",
+    "Violation",
+    "rule_table",
+    "format_report",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
 ]

@@ -1,0 +1,744 @@
+"""The determinism rules (D001-D005) behind ``repro lint``.
+
+Every rule enforces one clause of the repository's determinism
+contract: a trial is a pure function of ``(seed, spec)``, bit-identical
+at any worker count (docs/architecture.md, "The determinism contract").
+The golden-digest and serial-vs-parallel tests check that contract
+*after the fact*; these rules reject the classic ways of breaking it at
+the source level, before a trial ever runs:
+
+========  ==========================================================
+``D001``  wall-clock / entropy ban (``time.time``, ``datetime.now``,
+          ``uuid4``, ``os.urandom``, module-level ``random.*``) inside
+          the deterministic subsystems
+``D002``  unsorted iteration over set values feeding an
+          order-sensitive consumer (loops, list/tuple builds, joins)
+``D003``  RNG discipline — randomness comes from injected, labelled
+          :class:`~repro.util.rng.RandomSource` child streams, never
+          ad-hoc ``random.Random()`` / ``numpy.random.default_rng()``
+``D004``  metrics transparency — monitor-family classes may not draw
+          RNG or send messages (attaching one must never perturb a
+          trial)
+``D005``  ``*Params`` dataclasses must be ``frozen=True`` and sim
+          hot-path classes must declare ``__slots__``
+========  ==========================================================
+
+The rules are deliberately syntactic: they resolve imports and local
+set bindings, not types, so a determinism hazard the analysis cannot
+see still exists — the runtime draw ledger and the golden digests stay
+the backstop.  False positives are suppressed in place with
+``# repro: noqa-det[DXXX]`` on the offending line.
+
+Scoping: ``D001`` and ``D003`` only apply to modules inside the
+deterministic subsystems (``repro/{sim,scenario,protocols,membership,
+kvstore,experiments}`` — recognised by path, so a fixture corpus can
+mimic the layout); ``D002``, ``D004`` and the ``*Params`` half of
+``D005`` apply to every linted module; the ``__slots__`` half of
+``D005`` applies to ``repro/sim`` only.
+
+Note on ``dict``: CPython dict iteration is insertion-ordered and this
+codebase relies on that determinism throughout; the hash-randomised
+hazard is ``set``/``frozenset`` iteration, which is what ``D002``
+targets.  Sorting (``sorted(...)``) or folding order-insensitively
+(``len``/``min``/``max``/``sum``/``any``/``all``/``set``) is always
+accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "DETERMINISTIC_SUBSYSTEMS",
+    "RULES",
+    "RULE_CODES",
+    "ModuleContext",
+    "Violation",
+    "rule_table",
+    "subsystem_of",
+]
+
+#: Subsystems whose modules must stay pure functions of ``(seed, spec)``.
+DETERMINISTIC_SUBSYSTEMS = frozenset(
+    {"sim", "scenario", "protocols", "membership", "kvstore", "experiments"}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One determinism finding: ``path:line: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+def subsystem_of(path: str) -> Optional[str]:
+    """The deterministic subsystem a module path belongs to, if any.
+
+    Recognised structurally — a ``repro`` path segment directly
+    followed by a subsystem segment — so it works for the source tree
+    (``src/repro/sim/engine.py``), installed packages
+    (``.../site-packages/repro/sim/engine.py``) and the lint fixture
+    corpus (``tests/fixtures/lint/repro/sim/bad.py``) alike.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and parts[index + 1] in DETERMINISTIC_SUBSYSTEMS:
+            return parts[index + 1]
+    return None
+
+
+class ModuleContext:
+    """One parsed module, shared by all rules.
+
+    Carries the AST, the normalised path, the subsystem classification
+    and a lazily built import-alias map (``np`` -> ``numpy``,
+    ``datetime`` -> ``datetime.datetime`` for ``from datetime import
+    datetime``, ...) used to resolve dotted call targets.
+    """
+
+    __slots__ = ("path", "tree", "subsystem", "_imports")
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        self.subsystem = subsystem_of(path)
+        self._imports: Optional[Dict[str, str]] = None
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        if self._imports is None:
+            self._imports = _import_map(self.tree)
+        return self._imports
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin, for every import in the module."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    names[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never reach stdlib entropy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return names
+
+
+def _qualname(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain rooted at an imported name.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``;
+    chains rooted at locals (``self.rng.random``) resolve to None —
+    locals are handled by the receiver-name heuristics instead.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a name/attribute chain (``a.b._rng`` -> ``_rng``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# -- D001: wall-clock / entropy ban ---------------------------------------------------
+
+_D001_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getrandom",
+}
+
+#: Calls that only read the wall clock when the explicit time argument
+#: is omitted: ``time.strftime(fmt)`` formats *now*, ``strftime(fmt, t)``
+#: is a pure function of ``t``.
+_D001_BARE_ONLY = {"time.strftime": 1, "time.ctime": 0, "time.asctime": 0}
+
+
+def _check_d001(ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.subsystem is None:
+        return
+    where = f"in deterministic subsystem {ctx.subsystem!r}"
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = _qualname(node.func, ctx.imports)
+        if qual is None:
+            continue
+        if qual in _D001_BANNED:
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D001",
+                f"wall-clock/entropy call {qual}() {where}; take time "
+                "from Simulator.now and randomness from an injected "
+                "RandomSource",
+            )
+        elif (
+            qual in _D001_BARE_ONLY
+            and len(node.args) <= _D001_BARE_ONLY[qual]
+            and not node.keywords
+        ):
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D001",
+                f"{qual}() without an explicit time argument reads the "
+                f"wall clock {where}; pass the simulated/provenance "
+                "time explicitly",
+            )
+        elif qual.startswith("secrets."):
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D001",
+                f"OS-entropy call {qual}() {where}; draw from an "
+                "injected RandomSource child stream",
+            )
+        elif qual.startswith("random.") and qual not in (
+            "random.Random",
+            "random.SystemRandom",
+        ):
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D001",
+                f"module-level {qual}() draws from the global "
+                f"interpreter-wide stream {where}; draw from an "
+                "injected RandomSource child stream",
+            )
+
+
+# -- D002: unsorted set iteration -----------------------------------------------------
+
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: Order-insensitive folds: consuming a set through these is fine.
+_ORDER_FREE_CALLS = {
+    "sorted",
+    "len",
+    "min",
+    "max",
+    "sum",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+}
+
+#: Order-sensitive materialisers: the result remembers set order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "iter", "enumerate"}
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node of a scope, not descending into nested scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """The statements of a scope, not descending into nested scopes."""
+    for node in _scope_nodes(scope):
+        if isinstance(node, ast.stmt):
+            yield node
+
+
+def _set_bindings(scope: ast.AST) -> Set[str]:
+    """Names bound to set-typed values in this scope (conservative).
+
+    Fixpoint over plain assignments: a name assigned *only* set
+    expressions is set-typed; any other assignment to the same name
+    drops it (no flow analysis — ambiguity means silence, not noise).
+    """
+    set_names: Set[str] = set()
+    tainted: Set[str] = set()
+    for _ in range(10):
+        changed = False
+        for stmt in _scope_statements(scope):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            elif isinstance(stmt, ast.AugAssign):
+                # s |= {...} keeps a set a set; anything else taints
+                if not isinstance(stmt.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+                    targets, value = [stmt.target], stmt.value
+                continue
+            else:
+                continue
+            is_set = value is not None and _is_set_expr(value, set_names)
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if is_set:
+                    if target.id not in set_names:
+                        set_names.add(target.id)
+                        changed = True
+                elif target.id not in tainted:
+                    tainted.add(target.id)
+                    changed = True
+        if not changed:
+            break
+    return set_names - tainted
+
+
+def _order_free_genexps(scope: ast.AST) -> Set[int]:
+    """ids of generator expressions consumed by order-free folds.
+
+    ``sum(x for x in s)`` is order-insensitive even when ``s`` is a
+    set; the inner comprehension must not be flagged.
+    """
+    safe: Set[int] = set()
+    for node in _scope_nodes(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id in _ORDER_FREE_CALLS):
+            continue
+        for arg in node.args:
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                safe.add(id(arg))
+    return safe
+
+
+def _check_d002_scope(
+    ctx: ModuleContext, scope: ast.AST
+) -> Iterator[Violation]:
+    set_names = _set_bindings(scope)
+    safe_comps = _order_free_genexps(scope)
+
+    def flag(node: ast.AST, what: str) -> Violation:
+        return Violation(
+            ctx.path,
+            node.lineno,  # type: ignore[attr-defined]
+            node.col_offset,  # type: ignore[attr-defined]
+            "D002",
+            f"{what} iterates a set in hash order, which feeds "
+            "order-sensitive state; wrap it in sorted(...)",
+        )
+
+    for node in _scope_nodes(scope):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, set_names):
+            yield flag(node, "for-loop")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if id(node) in safe_comps:
+                continue
+            for comp in node.generators:
+                if _is_set_expr(comp.iter, set_names):
+                    yield flag(node, "comprehension")
+                    break
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield flag(node, f"{func.id}(...)")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield flag(node, "str.join(...)")
+
+
+def _check_d002(ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            yield from _check_d002_scope(ctx, node)
+
+
+# -- D003: RNG discipline -------------------------------------------------------------
+
+
+def _check_d003(ctx: ModuleContext) -> Iterator[Violation]:
+    if ctx.subsystem is None:
+        return
+    where = f"in deterministic subsystem {ctx.subsystem!r}"
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = _qualname(node.func, ctx.imports)
+        if qual is None:
+            continue
+        if qual in ("random.Random", "random.SystemRandom"):
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D003",
+                f"ad-hoc {qual}() instance {where}; derive a labelled "
+                "child stream from the injected RandomSource "
+                "(rng.child(...)) so draws stay attributable and "
+                "refactor-stable",
+            )
+        elif qual.startswith("numpy.random."):
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                node.col_offset,
+                "D003",
+                f"direct {qual}() {where}; all randomness must flow "
+                "through injected RandomSource child streams "
+                "(repro.util.rng)",
+            )
+
+
+# -- D004: monitor metrics-transparency -----------------------------------------------
+
+#: The monitor family: attaching any of these (or a subclass) to a trial
+#: must never change its metrics, so they may not draw RNG or send.
+_MONITOR_FAMILY = {
+    "BroadcastMonitor",
+    "ConvergenceMonitor",
+    "InvariantMonitor",
+    "ViewQualityMonitor",
+    "KVMetricsMonitor",
+    "MessageStats",
+}
+
+_RNG_DRAW_ATTRS = {
+    "random",
+    "random_array",
+    "bernoulli",
+    "bernoulli_array",
+    "integer",
+    "choice",
+    "sample",
+    "shuffled",
+    "exponential",
+    "geometric",
+    "child",
+    "buffered",
+    "spawn_sequence",
+}
+
+_RNGISH_FRAGMENTS = ("rng", "random", "stream", "source", "draw")
+
+_SEND_ATTRS = {"send", "broadcast"}
+
+
+def _is_monitor_class(node: ast.ClassDef) -> bool:
+    if node.name in _MONITOR_FAMILY or node.name.endswith("Monitor"):
+        return True
+    for base in node.bases:
+        name = _terminal_name(base)
+        if name and (name in _MONITOR_FAMILY or name.endswith("Monitor")):
+            return True
+    return False
+
+
+def _rngish_receiver(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _RNGISH_FRAGMENTS)
+
+
+def _check_d004(ctx: ModuleContext) -> Iterator[Violation]:
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef) or not _is_monitor_class(cls):
+            continue
+        label = f"monitor-family class {cls.name!r}"
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            qual = _qualname(func, ctx.imports)
+            if isinstance(func, ast.Attribute) and func.attr in _SEND_ATTRS:
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D004",
+                    f"{label} calls .{func.attr}(); monitors must be "
+                    "metrics-transparent observers and may not inject "
+                    "messages",
+                )
+            elif (
+                isinstance(func, ast.Name) and func.id == "RandomSource"
+            ) or (qual is not None and qual.endswith(".RandomSource")):
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D004",
+                    f"{label} constructs a RandomSource; monitors must "
+                    "be RNG-free so attaching one never perturbs the "
+                    "trial's draw sequence",
+                )
+            elif qual is not None and (
+                qual.startswith("numpy.random.")
+                or (qual.startswith("random.") and qual != "random.Random")
+                or qual == "random.Random"
+            ):
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D004",
+                    f"{label} draws entropy via {qual}(); monitors "
+                    "must be RNG-free",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RNG_DRAW_ATTRS
+                and _rngish_receiver(func.value)
+            ):
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D004",
+                    f"{label} draws RNG "
+                    f"({_terminal_name(func.value)}.{func.attr}()); "
+                    "monitors must be RNG-free so attaching one never "
+                    "perturbs the trial's draw sequence",
+                )
+
+
+# -- D005: frozen params + sim __slots__ ----------------------------------------------
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _terminal_name(target)
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _dataclass_is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+_SLOTS_EXEMPT_BASES = {
+    "Exception",
+    "BaseException",
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "NamedTuple",
+    "Protocol",
+    "TypedDict",
+}
+
+
+def _slots_exempt(node: ast.ClassDef) -> bool:
+    if _dataclass_decorator(node) is not None:
+        # config/param dataclasses are not per-event hot-path objects
+        # (and slots=True needs 3.10+); D005's frozen check still applies
+        return True
+    for base in node.bases:
+        name = _terminal_name(base)
+        if name is None:
+            continue
+        if name in _SLOTS_EXEMPT_BASES or name.endswith(
+            ("Error", "Exception", "Warning")
+        ):
+            return True
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _check_d005(ctx: ModuleContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.endswith("Params"):
+            decorator = _dataclass_decorator(node)
+            if decorator is not None and not _dataclass_is_frozen(decorator):
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D005",
+                    f"param dataclass {node.name!r} must be "
+                    "@dataclass(frozen=True): params ride campaign "
+                    "cache keys and provenance, so they must be "
+                    "immutable and hashable",
+                )
+        if ctx.subsystem == "sim":
+            if not _declares_slots(node) and not _slots_exempt(node):
+                yield Violation(
+                    ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    "D005",
+                    f"sim hot-path class {node.name!r} must declare "
+                    "__slots__ (per-event objects dominate the engine "
+                    "hot path; see docs/performance.md)",
+                )
+
+
+# -- the rule registry ----------------------------------------------------------------
+
+RuleCheck = Callable[[ModuleContext], Iterator[Violation]]
+
+#: ``(code, one-line summary, checker)`` for every determinism rule.
+RULES: Tuple[Tuple[str, str, RuleCheck], ...] = (
+    (
+        "D001",
+        "wall-clock/entropy ban in deterministic subsystems",
+        _check_d001,
+    ),
+    (
+        "D002",
+        "unsorted set iteration feeding order-sensitive consumers",
+        _check_d002,
+    ),
+    (
+        "D003",
+        "randomness only via injected RandomSource child streams",
+        _check_d003,
+    ),
+    (
+        "D004",
+        "monitor-family classes draw no RNG and send no messages",
+        _check_d004,
+    ),
+    (
+        "D005",
+        "*Params dataclasses frozen; sim hot-path classes __slots__",
+        _check_d005,
+    ),
+)
+
+RULE_CODES: Tuple[str, ...] = tuple(code for code, _, _ in RULES)
+
+
+def rule_table() -> List[Tuple[str, str]]:
+    """``(code, summary)`` rows, for ``repro lint --explain`` and docs."""
+    return [(code, summary) for code, summary, _ in RULES]

@@ -33,7 +33,10 @@ environment variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.analysis.rules import Violation
 
 from repro.errors import ValidationError
 from repro.experiments.campaign import Campaign
@@ -140,6 +143,8 @@ __all__ = [
     "Provenance",
     "load_results",
     "diff_results",
+    # static analysis
+    "lint_paths",
     # execution
     "run_trial",
     "run_scenario",
@@ -603,6 +608,7 @@ def run_experiment(
     workers: int = 1,
     cache: Union[bool, str, None] = None,
     store: Union[bool, str, ResultStore, None] = None,
+    rng_ledger: bool = False,
 ) -> ResultSet:
     """Run one registered experiment; returns its typed result set.
 
@@ -620,6 +626,10 @@ def run_experiment(
             True = the default results store, a string = that JSONL
             path, or a :class:`~repro.results.ResultStore`.  When
             stored, the returned result carries its ``run_id``.
+        rng_ledger: record per-labelled-stream RNG draw counts into the
+            result's provenance (``provenance.rng_ledger``).  Metric
+            values are bit-identical with or without the ledger; see
+            :class:`~repro.util.rng.DrawLedger`.
 
     The returned :class:`~repro.results.ResultSet` renders the exact
     table the legacy per-figure commands print, carries full provenance
@@ -634,7 +644,9 @@ def run_experiment(
     result_store = _store(store)
     if result_store is not None:
         result_store.check_writable()
-    campaign = Campaign(workers=workers, cache=_trial_cache(cache))
+    campaign = Campaign(
+        workers=workers, cache=_trial_cache(cache), rng_ledger=rng_ledger
+    )
     try:
         result = spec.run(
             scale=_scale(scale), params=params_obj, campaign=campaign
@@ -722,3 +734,28 @@ def diff_results(
         resolve_result(b, result_store),
         tolerance=tolerance,
     )
+
+
+# -- static analysis surface ----------------------------------------------------------
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> "List[Violation]":
+    """Run the determinism lint rules (D001-D005) over files or trees.
+
+    Args:
+        paths: files and/or directories; directories are walked for
+            ``.py`` files.
+        select: optional subset of rule codes to run (default: all).
+
+    Returns:
+        Sorted :class:`~repro.analysis.rules.Violation` records; empty
+        means the tree honours the determinism contract.  ``repro lint``
+        is the CLI wrapper over this function (exit 1 on violations).
+    """
+    from repro.analysis.lint import lint_paths as _lint_paths
+
+    return _lint_paths(paths, select=select)

@@ -295,6 +295,14 @@ def make_parser() -> argparse.ArgumentParser:
             "(see 'repro experiments describe <name>' for the axes)"
         ),
     )
+    exps_run.add_argument(
+        "--rng-ledger",
+        action="store_true",
+        help=(
+            "record per-stream RNG draw counts into the result's "
+            "provenance (metric values are unaffected)"
+        ),
+    )
     _add_store_option(exps_run)
     exps_run.add_argument(
         "--no-store",
@@ -368,6 +376,14 @@ def make_parser() -> argparse.ArgumentParser:
         sweep_help=(
             "override one sweep axis; repeatable (e.g. --sweep "
             "connectivity=2,4,8 --sweep loss=0.01,0.05 --sweep topology=tree)"
+        ),
+    )
+    camp.add_argument(
+        "--rng-ledger",
+        action="store_true",
+        help=(
+            "record per-stream RNG draw counts into the result's "
+            "provenance (metric values are unaffected)"
         ),
     )
 
@@ -582,6 +598,38 @@ def make_parser() -> argparse.ArgumentParser:
             "when FILE is omitted)"
         ),
     )
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="determinism static analysis (rules D001-D005)",
+        description=(
+            "Check Python sources against the determinism contract: no "
+            "wall-clock/entropy calls or ad-hoc RNGs in the simulation "
+            "subsystems, no unsorted set iteration feeding "
+            "order-sensitive state, metrics-transparent monitors, "
+            "frozen *Params dataclasses and __slots__ on sim hot-path "
+            "classes.  Violations print as 'file:line: DXXX message' "
+            "and exit 1; suppress a reviewed line in place with "
+            "'# repro: noqa-det[DXXX]'."
+        ),
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files and/or directories to lint (e.g. src/repro)",
+    )
+    lint_cmd.add_argument(
+        "--select",
+        default=None,
+        metavar="D001,D002,...",
+        help="comma-separated subset of rule codes to run (default: all)",
+    )
+    lint_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the rule table and exit",
+    )
     return parser
 
 
@@ -590,7 +638,12 @@ def _campaign_setup(args: argparse.Namespace):
     campaign-backed subcommands; returns ``(campaign, workers, cache)``."""
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     cache = None if args.no_cache else TrialCache(args.cache_dir)
-    return Campaign(workers=workers, cache=cache), workers, cache
+    campaign = Campaign(
+        workers=workers,
+        cache=cache,
+        rng_ledger=getattr(args, "rng_ledger", False),
+    )
+    return campaign, workers, cache
 
 
 def _campaign_summary(campaign: Campaign, workers: int, cache) -> str:
@@ -650,6 +703,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
         return 2
     print(result.render())
     print(f"\n{_campaign_summary(campaign, workers, cache)}")
+    if campaign.rng_ledger:
+        print(
+            f"rng ledger: {len(campaign.rng_draws)} streams, "
+            f"{sum(campaign.rng_draws.values())} draws "
+            "(recorded in provenance)"
+        )
     if args.out:
         _write_result_artefacts(
             result,
@@ -750,6 +809,12 @@ def _run_experiments(args: argparse.Namespace) -> int:
             store_error = exc  # never discard a computed table over this
     print(result.render())
     print(f"\n{_campaign_summary(campaign, workers, cache)}")
+    if campaign.rng_ledger:
+        print(
+            f"rng ledger: {len(campaign.rng_draws)} streams, "
+            f"{sum(campaign.rng_draws.values())} draws "
+            "(recorded in provenance)"
+        )
     if store is not None and store_error is None:
         print(f"stored as {result.run_id} in {store.path}")
     if args.out:
@@ -1273,6 +1338,36 @@ def _run_scenario_hunt(args: argparse.Namespace, scale) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """``repro lint PATH...`` — the determinism static-analysis gate."""
+    from repro.analysis.lint import format_report, lint_paths
+    from repro.analysis.rules import rule_table
+
+    if args.explain:
+        width = max(len(code) for code, _ in rule_table())
+        for code, summary in rule_table():
+            print(f"{code:<{width}}  {summary}")
+        print(
+            "\nsuppress a reviewed line in place with "
+            "'# repro: noqa-det[DXXX]' (comma-separate multiple codes)"
+        )
+        return 0
+    if not args.paths:
+        print("error: lint needs at least one PATH", file=sys.stderr)
+        return 2
+    select = (
+        None if args.select is None else [c for c in args.select.split(",")]
+    )
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report, exit_code = format_report(violations)
+    print(report, file=sys.stderr if exit_code else sys.stdout)
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     if args.command == "list":
@@ -1291,6 +1386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "lint":
+        return _run_lint(args)
     return _run_registry_experiment(args)
 
 

@@ -54,7 +54,7 @@ class SpanningTree:
         if root in parent:
             raise TreeError(f"root {root} cannot have a parent")
         nodes = set(parent) | {root}
-        children: Dict[ProcessId, List[ProcessId]] = {p: [] for p in nodes}
+        children: Dict[ProcessId, List[ProcessId]] = {p: [] for p in sorted(nodes)}
         for child, par in parent.items():
             if par not in nodes:
                 raise TreeError(f"parent {par} of {child} is not a tree node")

@@ -33,7 +33,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ValidationError
 from repro.util.cache import TrialCache, content_key
+from repro.util.rng import DrawLedger, ledger_scope
 from repro.util.stats import OnlineStats
+
+#: Reserved result-key prefix carrying per-stream RNG draw counts from a
+#: ledgered trial back to the parent (stripped before aggregation).
+RNG_KEY_PREFIX = "rng."
 
 #: Result type every trial function must return.
 TrialResult = Dict[str, float]
@@ -110,14 +115,35 @@ class TrialSpec:
 
 
 def execute_spec(spec: TrialSpec) -> TrialResult:
-    """Run one trial in the current process (also the pool worker body)."""
-    result = spec.resolve()(**spec.kwargs())
+    """Run one trial in the current process (also the pool worker body).
+
+    The reserved ``rng_ledger`` parameter never reaches the trial
+    function: when present and true, the trial runs inside a
+    :func:`~repro.util.rng.ledger_scope` and its per-stream draw counts
+    ride back in ``rng.<stream>`` result keys (so they travel through
+    the cache and worker pipes like any other metric).  Ledger
+    bookkeeping draws nothing itself, so metric values are bit-identical
+    either way — only the cache key differs.
+    """
+    kwargs = spec.kwargs()
+    want_ledger = bool(kwargs.pop("rng_ledger", False))
+    fn = spec.resolve()
+    ledger = DrawLedger()
+    if want_ledger:
+        with ledger_scope(ledger):
+            result = fn(**kwargs)
+    else:
+        result = fn(**kwargs)
     if not isinstance(result, dict):
         raise ValidationError(
             f"trial {spec.describe()} returned {type(result).__name__}, "
             "expected a dict of floats"
         )
-    return {name: float(value) for name, value in result.items()}
+    out = {name: float(value) for name, value in result.items()}
+    if want_ledger:
+        for stream, draws in ledger.as_dict().items():
+            out[RNG_KEY_PREFIX + stream] = float(draws)
+    return out
 
 
 def _execute_keyed(spec: TrialSpec) -> Tuple[TrialSpec, TrialResult]:
@@ -141,6 +167,12 @@ class Campaign:
             are persisted and later batches skip anything already on
             disk.  Cache writes happen in the parent as results arrive,
             so an interrupted campaign keeps everything that finished.
+        rng_ledger: when true, every trial runs with an active
+            :class:`~repro.util.rng.DrawLedger`; per-stream draw counts
+            accumulate into :attr:`rng_draws` (summed over executed and
+            cache-recovered trials alike) for provenance.  Ledgered
+            trials cache under distinct content keys, so default runs
+            stay byte-identical to a build without the ledger.
 
     The cumulative counters :attr:`executed` and :attr:`cached` track how
     much work the campaign actually did versus recovered from disk.
@@ -150,13 +182,16 @@ class Campaign:
         self,
         workers: int = 1,
         cache: Optional[TrialCache] = None,
+        rng_ledger: bool = False,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache
+        self.rng_ledger = rng_ledger
         self.executed = 0
         self.cached = 0
+        self.rng_draws: Dict[str, int] = {}
 
     def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
         """Execute ``specs``; returns their results in submission order.
@@ -166,6 +201,13 @@ class Campaign:
         persisted the moment it arrives, so a crash or Ctrl-C part-way
         through loses only the in-flight trials.
         """
+        if self.rng_ledger:
+            specs = [
+                TrialSpec.make(
+                    spec.fn, **{**spec.kwargs(), "rng_ledger": True}
+                )
+                for spec in specs
+            ]
         order: List[str] = []
         pending: List[TrialSpec] = []
         pending_keys: set = set()
@@ -193,6 +235,25 @@ class Campaign:
                     result,
                     context={"fn": spec.fn, "params": spec.kwargs()},
                 )
+        if self.rng_ledger:
+            # fold draw counts once per distinct trial (dedup-safe) and
+            # hand callers metric-only dicts, so aggregation never sees
+            # the rng.* bookkeeping keys
+            for result in results.values():
+                for name, value in result.items():
+                    if name.startswith(RNG_KEY_PREFIX):
+                        stream = name[len(RNG_KEY_PREFIX) :]
+                        self.rng_draws[stream] = (
+                            self.rng_draws.get(stream, 0) + int(value)
+                        )
+            return [
+                {
+                    name: value
+                    for name, value in results[key].items()
+                    if not name.startswith(RNG_KEY_PREFIX)
+                }
+                for key in order
+            ]
         return [results[key] for key in order]
 
     def _execute(self, pending: Sequence[TrialSpec]):

@@ -377,6 +377,9 @@ class ExperimentSpec:
                 artefact=self.artefact,
                 scale=scale.name,
                 params=_params_json(ctx.params),
+                rng_ledger=(
+                    dict(campaign.rng_draws) if campaign.rng_ledger else None
+                ),
             ),
         )
 

@@ -94,6 +94,11 @@ class Provenance:
         schema_version: results schema generation (:data:`SCHEMA_VERSION`).
         git: best-effort ``git describe`` of the source tree, or None.
         created_at: UTC ISO-8601 timestamp (ignored by ``diff``).
+        rng_ledger: optional per-labelled-stream RNG draw counts from a
+            campaign run with the draw ledger enabled (``--rng-ledger``);
+            None when the run was unledgered.  ``diff`` compares ledgers
+            when both sides carry one, attributing a drift to the exact
+            stream whose draw count diverged.
     """
 
     experiment: str
@@ -105,6 +110,7 @@ class Provenance:
     schema_version: int = SCHEMA_VERSION
     git: Optional[str] = None
     created_at: Optional[str] = None
+    rng_ledger: Optional[Mapping[str, int]] = None
 
     @classmethod
     def capture(
@@ -113,6 +119,7 @@ class Provenance:
         artefact: str = "",
         scale: str = "",
         params: Optional[Mapping[str, object]] = None,
+        rng_ledger: Optional[Mapping[str, int]] = None,
     ) -> "Provenance":
         """Build a provenance record stamped with the ambient environment."""
         from repro import __version__
@@ -125,10 +132,15 @@ class Provenance:
             repro_version=__version__,
             git=_git_describe(),
             created_at=_utc_now(),
+            rng_ledger=(
+                None
+                if rng_ledger is None
+                else {key: int(rng_ledger[key]) for key in sorted(rng_ledger)}
+            ),
         )
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "experiment": self.experiment,
             "artefact": self.artefact,
             "scale": self.scale,
@@ -139,9 +151,18 @@ class Provenance:
             "git": self.git,
             "created_at": self.created_at,
         }
+        # only ledgered runs carry the key, so unledgered provenance
+        # JSON stays byte-identical to pre-ledger builds
+        if self.rng_ledger is not None:
+            payload["rng_ledger"] = {
+                key: int(self.rng_ledger[key])
+                for key in sorted(self.rng_ledger)
+            }
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "Provenance":
+        raw_ledger = payload.get("rng_ledger")
         return cls(
             experiment=str(payload.get("experiment", "")),
             artefact=str(payload.get("artefact", "")),
@@ -152,6 +173,14 @@ class Provenance:
             schema_version=int(payload.get("schema_version", SCHEMA_VERSION)),
             git=payload.get("git"),  # type: ignore[arg-type]
             created_at=payload.get("created_at"),  # type: ignore[arg-type]
+            rng_ledger=(
+                None
+                if raw_ledger is None
+                else {
+                    str(key): int(value)
+                    for key, value in dict(raw_ledger).items()  # type: ignore[call-overload]
+                }
+            ),
         )
 
 
@@ -393,7 +422,11 @@ class ResultDiff:
     ``clean`` means the runs agree: no structural mismatch and every
     numeric cell within ``tolerance``.  Provenance metadata (timestamps,
     git state, run ids) never participates in the comparison — two
-    bit-identical re-runs of the same experiment diff clean.
+    bit-identical re-runs of the same experiment diff clean.  The one
+    exception is the RNG draw ledger: when *both* sides carry one, the
+    per-stream draw counts are compared and any divergence is reported
+    in :attr:`ledger`, naming the exact labelled stream that drifted
+    (one side ledgered and the other not is not a mismatch).
     """
 
     experiment: str
@@ -403,10 +436,11 @@ class ResultDiff:
     structural: Tuple[str, ...] = ()
     drifts: Tuple[CellDrift, ...] = ()
     cells: int = 0
+    ledger: Tuple[str, ...] = ()
 
     @property
     def clean(self) -> bool:
-        return not self.structural and not self.drifts
+        return not self.structural and not self.drifts and not self.ledger
 
     @property
     def max_drift(self) -> float:
@@ -428,6 +462,8 @@ class ResultDiff:
         lines = [label]
         for note in self.structural:
             lines.append(f"  structural: {note}")
+        for note in self.ledger:
+            lines.append(f"  rng-ledger: {note}")
         for drift in self.drifts:
             lines.append(f"  drift: {drift.describe()}")
         if self.drifts:
@@ -497,6 +533,29 @@ def diff_result_sets(
             f"scales differ: {a.provenance.scale!r} vs {b.provenance.scale!r}"
         )
 
+    ledger_notes: List[str] = []
+    ledger_a = a.provenance.rng_ledger if a.provenance is not None else None
+    ledger_b = b.provenance.rng_ledger if b.provenance is not None else None
+    if ledger_a is not None and ledger_b is not None and ledger_a != ledger_b:
+        diverged = sorted(
+            stream
+            for stream in set(ledger_a) | set(ledger_b)
+            if ledger_a.get(stream) != ledger_b.get(stream)
+        )
+        shown = diverged[:20]
+        for stream in shown:
+            count_a = ledger_a.get(stream)
+            count_b = ledger_b.get(stream)
+            ledger_notes.append(
+                f"stream {stream!r} drew "
+                f"{'-' if count_a is None else count_a} vs "
+                f"{'-' if count_b is None else count_b}"
+            )
+        if len(diverged) > len(shown):
+            ledger_notes.append(
+                f"... and {len(diverged) - len(shown)} more diverging streams"
+            )
+
     shared_columns = [c for c in a.columns if c in b.columns]
     drifts: List[CellDrift] = []
     cells = 0
@@ -516,4 +575,5 @@ def diff_result_sets(
         structural=tuple(structural),
         drifts=tuple(drifts),
         cells=cells,
+        ledger=tuple(ledger_notes),
     )

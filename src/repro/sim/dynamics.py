@@ -29,13 +29,25 @@ declarative event types built on this contract).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.errors import ValidationError
 from repro.sim.events import DYNAMICS_PRIORITY
 from repro.sim.network import Network
 from repro.types import Link, ProcessId
 from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:
+    from repro.topology.configuration import Configuration
 
 
 class DynamicsDriver:
@@ -107,7 +119,7 @@ class DynamicsDriver:
         return self._network
 
     @property
-    def base_configuration(self):
+    def base_configuration(self) -> "Configuration":
         """The configuration every :class:`Heal`-style restore returns to."""
         return self._base
 

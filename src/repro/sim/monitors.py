@@ -16,10 +16,25 @@
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.sim.crash import CrashModel
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.sim.network import Network
+    from repro.topology.configuration import Configuration
 from repro.sim.events import DYNAMICS_PRIORITY
 from repro.sim.trace import DropReason, MessageCategory, MessageStats
 from repro.types import Link, ProcessId
@@ -200,7 +215,7 @@ class _CheckingCrashModel(CrashModel):
     def is_down(self, p: ProcessId, now: float) -> bool:
         return self._inner.is_down(p, now)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # force_recover_all and model-specific surface pass through
         return getattr(self._inner, name)
 
@@ -247,12 +262,12 @@ class InvariantMonitor:
     def __init__(
         self,
         sim: Simulator,
-        network,
+        network: "Network",
         event_times: Iterable[float] = (),
     ) -> None:
         self._sim = sim
         self._network = network
-        self._epochs: List[Tuple[float, object]] = [(0.0, network.config)]
+        self._epochs: List[Tuple[float, "Configuration"]] = [(0.0, network.config)]
         self._checked = 0
         stats = _CheckingStats(self, trace=network.stats._trace_enabled)
         network._stats = stats
@@ -286,7 +301,7 @@ class InvariantMonitor:
         self._epochs.append((self._sim.now, self._network.config))
         self._wrap_crash_model()
 
-    def _config_at(self, time: float):
+    def _config_at(self, time: float) -> "Configuration":
         config = self._epochs[0][1]
         for at, snapshot in self._epochs:
             if at > time:

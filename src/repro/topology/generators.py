@@ -192,11 +192,11 @@ def small_world(n: int, k: int, beta: float, rng: RandomSource) -> Graph:
             if candidate in links:
                 continue
             trial = (links - {link}) | {candidate}
-            graph = Graph(n, [tuple(link) for link in trial])
+            graph = Graph(n, [tuple(link) for link in sorted(trial)])
             if graph.is_connected():
                 links = trial
                 break
-    return Graph(n, [tuple(link) for link in links])
+    return Graph(n, [tuple(link) for link in sorted(links)])
 
 
 def scale_free(n: int, attach: int, rng: RandomSource) -> Graph:
@@ -219,7 +219,7 @@ def scale_free(n: int, attach: int, rng: RandomSource) -> Graph:
         targets: set = set()
         while len(targets) < attach:
             targets.add(pool[pick.integer(len(pool))])
-        for v in targets:
+        for v in sorted(targets):
             links.append((u, v))
             pool.extend((u, v))
         pool.append(u)

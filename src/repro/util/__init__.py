@@ -12,13 +12,15 @@ foundation the simulation kernel and the algorithms are built on:
 """
 
 from repro.util.heap import AddressableHeap, MaxHeap
-from repro.util.rng import RandomSource
+from repro.util.rng import DrawLedger, RandomSource, ledger_scope
 from repro.util.stats import OnlineStats, mean_confidence_interval
 from repro.util.unionfind import UnionFind
 
 __all__ = [
     "AddressableHeap",
     "MaxHeap",
+    "DrawLedger",
+    "ledger_scope",
     "RandomSource",
     "OnlineStats",
     "mean_confidence_interval",

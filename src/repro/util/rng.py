@@ -7,16 +7,79 @@ every subsequent outcome.  :class:`RandomSource` therefore hands out
 independent :class:`numpy.random.Generator`, so per-link loss draws,
 per-process crash draws and workload generation each consume their own
 stream and experiments remain reproducible under refactoring.
+
+The module also hosts the opt-in **draw ledger** (:class:`DrawLedger`
+plus :func:`ledger_scope`): while a ledger is active, every stream
+constructed inside the scope counts its draws under a stable per-stream
+key (root name plus "/"-joined child labels).  The ledger is the runtime
+half of the determinism contract enforced statically by ``repro lint``:
+recorded into trial provenance, it lets ``repro results diff`` attribute
+a digest drift to the exact labelled stream whose draw count diverged.
+Ledger bookkeeping never touches any generator, so enabling it cannot
+perturb a trial's outcomes.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 SeedLike = Union[int, str, bytes]
+
+
+class DrawLedger:
+    """Per-labelled-stream RNG draw counts for one trial.
+
+    Counts are keyed by the stream's label path (e.g.
+    ``"repro-scenario/net/loss/3"``) and record *logical draws*: one per
+    scalar helper call, ``size`` per array helper, ``k`` per sample,
+    ``len(seq)`` per shuffle.  Direct :attr:`RandomSource.generator`
+    access is intentionally uncounted — bulk vectorised consumers own
+    their stream outright and are covered by the stream's existence in
+    the ledger, not its exact count.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def record(self, stream: str, draws: int = 1) -> None:
+        self.counts[stream] = self.counts.get(stream, 0) + draws
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counts in sorted-key order (stable for provenance JSON)."""
+        return {key: self.counts[key] for key in sorted(self.counts)}
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+_ACTIVE_LEDGER: Optional[DrawLedger] = None
+
+
+@contextmanager
+def ledger_scope(ledger: DrawLedger) -> Iterator[DrawLedger]:
+    """Activate ``ledger`` for streams constructed inside the scope.
+
+    Streams bind the ambient ledger at construction time, so a stream
+    created inside the scope keeps counting after the scope exits (a
+    trial function may return generators lazily) while streams created
+    outside stay unledgered.  Scopes do not nest: trials are the unit
+    of accounting and never run inside one another.
+    """
+    global _ACTIVE_LEDGER
+    if _ACTIVE_LEDGER is not None:
+        raise RuntimeError("ledger_scope does not nest")
+    _ACTIVE_LEDGER = ledger
+    try:
+        yield ledger
+    finally:
+        _ACTIVE_LEDGER = None
 
 
 class BufferedUniforms:
@@ -32,20 +95,34 @@ class BufferedUniforms:
     stream must be consumed either entirely through one wrapper or
     entirely through direct calls — mixing the two would skip buffered
     values.  (All simulation hot paths own their child stream outright.)
+
+    Ledger accounting counts one logical draw per ``next()`` call — the
+    value actually consumed — not the ``block``-sized refills, so
+    buffered and unbuffered consumption of a stream ledger identically.
     """
 
-    __slots__ = ("_generator", "_block", "_buffer", "_pos")
+    __slots__ = ("_generator", "_block", "_buffer", "_pos", "_ledger", "_stream")
 
-    def __init__(self, generator: np.random.Generator, block: int = 256) -> None:
+    def __init__(
+        self,
+        generator: np.random.Generator,
+        block: int = 256,
+        _ledger: Optional[DrawLedger] = None,
+        _stream: str = "",
+    ) -> None:
         if block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
         self._generator = generator
         self._block = block
         self._buffer: list = []
         self._pos = block  # force a refill on first draw
+        self._ledger = _ledger
+        self._stream = _stream
 
     def next(self) -> float:
         """The next uniform float in [0, 1) from the wrapped stream."""
+        if self._ledger is not None:
+            self._ledger.record(self._stream)
         pos = self._pos
         if pos >= len(self._buffer):
             # .tolist() converts float64 -> float exactly and makes the
@@ -98,13 +175,18 @@ class RandomSource:
         True
     """
 
-    __slots__ = ("_seed_parts", "_generator")
+    __slots__ = ("_seed_parts", "_generator", "_ledger", "_stream")
 
     def __init__(self, *seed_parts: SeedLike) -> None:
         if not seed_parts:
             raise ValueError("at least one seed part is required")
         self._seed_parts = seed_parts
         self._generator = np.random.default_rng(derive_seed(*seed_parts))
+        self._ledger = _ACTIVE_LEDGER
+        # ledger keys use the root *name* only: later parts of a
+        # directly-constructed root (scenario name, protocol, trial
+        # index) vary per trial and would fragment the ledger keyspace
+        self._stream = str(seed_parts[0]) if self._ledger is not None else ""
 
     @property
     def seed_parts(self) -> Sequence[SeedLike]:
@@ -113,12 +195,22 @@ class RandomSource:
 
     @property
     def generator(self) -> np.random.Generator:
-        """The underlying NumPy generator (for bulk vectorised draws)."""
+        """The underlying NumPy generator (for bulk vectorised draws).
+
+        Draws made directly on the generator bypass ledger accounting;
+        see :class:`DrawLedger`.
+        """
         return self._generator
 
     def child(self, *labels: SeedLike) -> "RandomSource":
         """Derive an independent child stream for the given labels."""
-        return RandomSource(*self._seed_parts, *labels)
+        node = RandomSource(*self._seed_parts, *labels)
+        if self._ledger is not None:
+            node._ledger = self._ledger
+            node._stream = (
+                self._stream + "/" + "/".join(str(label) for label in labels)
+            )
+        return node
 
     def buffered(self, block: int = 256) -> BufferedUniforms:
         """Wrap this stream's generator for block-buffered uniform draws.
@@ -127,16 +219,24 @@ class RandomSource:
         repeated :meth:`random` calls, but the stream must then be
         consumed exclusively through the returned wrapper.
         """
-        return BufferedUniforms(self._generator, block)
+        return BufferedUniforms(
+            self._generator, block, _ledger=self._ledger, _stream=self._stream
+        )
+
+    def _count(self, draws: int) -> None:
+        if self._ledger is not None:
+            self._ledger.record(self._stream, draws)
 
     # -- convenience draw helpers -------------------------------------------------
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
+        self._count(1)
         return float(self._generator.random())
 
     def random_array(self, size: int) -> np.ndarray:
         """Vector of uniform floats in [0, 1)."""
+        self._count(size)
         return self._generator.random(size)
 
     def bernoulli(self, p: float) -> bool:
@@ -145,6 +245,7 @@ class RandomSource:
             return False
         if p >= 1.0:
             return True
+        self._count(1)
         return bool(self._generator.random() < p)
 
     def bernoulli_array(self, p: float, size: int) -> np.ndarray:
@@ -153,28 +254,33 @@ class RandomSource:
             return np.zeros(size, dtype=bool)
         if p >= 1.0:
             return np.ones(size, dtype=bool)
+        self._count(size)
         return self._generator.random(size) < p
 
     def integer(self, low: int, high: Optional[int] = None) -> int:
         """Uniform integer in [low, high) (or [0, low) if high omitted)."""
+        self._count(1)
         return int(self._generator.integers(low, high))
 
     def choice(self, seq: Sequence) -> object:
         """Uniformly choose one element of a non-empty sequence."""
         if len(seq) == 0:
             raise ValueError("cannot choose from an empty sequence")
+        self._count(1)
         return seq[int(self._generator.integers(len(seq)))]
 
     def sample(self, seq: Sequence, k: int) -> list:
         """Choose ``k`` distinct elements without replacement."""
         if k > len(seq):
             raise ValueError(f"sample size {k} exceeds population {len(seq)}")
+        self._count(k)
         idx = self._generator.choice(len(seq), size=k, replace=False)
         return [seq[int(i)] for i in idx]
 
     def shuffled(self, seq: Sequence) -> list:
         """Return a new list with the elements of ``seq`` in random order."""
         out = list(seq)
+        self._count(len(out))
         self._generator.shuffle(out)
         return out
 
@@ -182,12 +288,14 @@ class RandomSource:
         """Exponential variate with the given mean."""
         if mean <= 0.0:
             raise ValueError(f"mean must be positive, got {mean}")
+        self._count(1)
         return float(self._generator.exponential(mean))
 
     def geometric(self, p: float) -> int:
         """Geometric variate (number of trials until first success, >= 1)."""
         if not 0.0 < p <= 1.0:
             raise ValueError(f"p must be in (0,1], got {p}")
+        self._count(1)
         return int(self._generator.geometric(p))
 
     def spawn_sequence(self, label: str) -> Iterator["RandomSource"]:

@@ -1,0 +1,22 @@
+"""noqa-det seeds: reviewed violations suppressed in place.
+
+The first function would trip D001 but carries a suppression; the
+second suppresses the wrong code, so its D001 still reports.
+"""
+
+import time
+
+
+def report_stamp():
+    # presentation-only banner, reviewed: never feeds trial state
+    return time.strftime("%Y-%m-%d")  # repro: noqa-det[D001]
+
+
+def wrong_code():
+    return time.time()  # repro: noqa-det[D002]
+
+
+def multi():
+    s = {1, 2}
+    # one comment can suppress several codes on the same line
+    return time.time(), list(s)  # repro: noqa-det[D001, D002]

@@ -1,0 +1,17 @@
+"""D003 seeds: ad-hoc RNG construction inside repro.membership."""
+
+import random
+
+import numpy as np
+
+
+def make_view_rng():
+    return random.Random(1234)
+
+
+def make_generator():
+    return np.random.default_rng(7)
+
+
+def legacy_seed():
+    np.random.seed(0)

@@ -1,0 +1,27 @@
+"""D004 seeds: monitor-family classes drawing RNG / sending messages."""
+
+from repro.util.rng import RandomSource
+
+
+class ChattyMonitor:
+    def on_view(self, node, view):
+        node.send(("gossip", view))
+
+
+class SampledQuality(ViewQualityMonitor):  # noqa: F821 - fixture only
+    def __init__(self, rng):
+        self.rng = rng
+
+    def on_tick(self):
+        return self.rng.random()
+
+
+class SeededStats(KVMetricsMonitor):  # noqa: F821 - fixture only
+    def reset(self):
+        self.stream = RandomSource("monitor", 0)
+
+
+class PassiveMonitor:
+    # observation without RNG or sends is what monitors are for
+    def on_view(self, node, view):
+        self.last = len(view)

@@ -1,0 +1,25 @@
+"""D002 seeds: unsorted set iteration feeding order-sensitive state."""
+
+
+def schedule(pending):
+    alive = {1, 2, 3}
+    for node in alive:
+        pending.append(node)
+    return pending
+
+
+def materialise():
+    peers = {"a", "b"} | {"c"}
+    return list(peers)
+
+
+def render(tags):
+    chosen = set(tags)
+    return ",".join(chosen)
+
+
+def folded():
+    # order-insensitive folds over a set are fine
+    weights = {0.5, 0.25}
+    total = sum(w for w in weights)
+    return total, sorted(weights), len(weights)

@@ -1,0 +1,36 @@
+"""D005 seeds: unfrozen *Params dataclass, slotless sim hot-path class."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChurnParams:
+    rate: float = 0.1
+
+
+@dataclass(frozen=False)
+class DriftParams:
+    skew: float = 0.0
+
+
+class PendingDelivery:
+    def __init__(self, message, at):
+        self.message = message
+        self.at = at
+
+
+@dataclass(frozen=True)
+class StableParams:
+    horizon: float = 1.0
+
+
+class SlottedDelivery:
+    __slots__ = ("message", "at")
+
+    def __init__(self, message, at):
+        self.message = message
+        self.at = at
+
+
+class DeliveryError(Exception):
+    pass

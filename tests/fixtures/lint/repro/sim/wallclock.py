@@ -1,0 +1,34 @@
+"""D001 seeds: wall-clock and OS-entropy calls inside repro.sim."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.at = time.time()
+    return event
+
+
+def label_run():
+    return uuid.uuid4().hex
+
+
+def jitter():
+    return random.random() * 0.01
+
+
+def entropy_bytes():
+    return os.urandom(8)
+
+
+def banner():
+    # two wall-clock reads on one line still report one violation each
+    return f"{datetime.now()} {time.strftime('%H:%M')}"
+
+
+def formatted(t):
+    # explicit time argument: pure function of t, not a violation
+    return time.strftime("%H:%M", t)
