@@ -14,7 +14,8 @@ into ``repro.core`` / ``repro.sim`` internals:
                 scenario="partition-heal", scale="quick")
 
     api.list_experiments()                    # registered ExperimentSpecs
-    rs = api.run_experiment("figure4a", scale="quick", workers=4)
+    rs = api.run_experiment("figure4a", scale="quick",
+                            backend="process:4")
     rs = api.run_experiment("figure4a", scale="quick", store=True)
     api.load_results(experiment="figure4a")   # stored ResultSets
     api.diff_results(a, b, tolerance=0.0)     # run-to-run regression check
@@ -23,8 +24,9 @@ Everything returns typed result records (:class:`TrialResult`,
 :class:`ProtocolResult`, :class:`ComparisonResult`,
 :class:`~repro.results.ResultSet`) rather than loose dicts.  Protocols
 and experiments registered at runtime work everywhere in-process;
-campaign fan-out (``workers > 1``) rebuilds trials in spawned workers,
-so parallel runs additionally need the plugin importable there — an
+campaign fan-out (``backend="process:N"`` / ``"shard:N"``) rebuilds
+trials in spawned workers, so parallel runs additionally need the
+plugin importable there — an
 installed ``repro.protocols`` / ``repro.experiments`` entry point, or
 modules named in the ``REPRO_PROTOCOLS`` / ``REPRO_EXPERIMENTS``
 environment variables.
@@ -32,6 +34,7 @@ environment variables.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,6 +42,14 @@ if TYPE_CHECKING:
     from repro.analysis.rules import Violation
 
 from repro.errors import ValidationError
+from repro.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardQueueBackend,
+    parse_backend,
+    resolve_backend,
+)
 from repro.experiments.campaign import Campaign
 from repro.experiments.registry import (
     ExperimentContext,
@@ -149,6 +160,11 @@ __all__ = [
     "run_trial",
     "run_scenario",
     "compare",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardQueueBackend",
+    "parse_backend",
     # typed results
     "TrialResult",
     "ProtocolResult",
@@ -229,7 +245,8 @@ def hunt(
     oracle: str = "optimal",
     min_regret: float = 0.0,
     shrink: bool = True,
-    workers: int = 1,
+    backend: BackendArg = None,
+    workers: Optional[int] = None,
     cache: Union[bool, str, None] = None,
     store: Union[bool, str, ResultStore, None] = None,
 ) -> HuntResult:
@@ -238,9 +255,11 @@ def hunt(
     Scores each scenario by adaptive-vs-oracle regret, keeps the
     ``top``-K worst, and (by default) shrinks each find's timeline to a
     minimal counterexample.  Deterministic for a pinned seed regardless
-    of ``workers``.  With ``store``, the frontier is appended to the
-    results store (generator-seed provenance included) and the returned
-    result reflects the stored run id via :meth:`HuntResult.to_result_set`.
+    of the execution ``backend`` (a spec string like ``"process:4"`` or
+    an :class:`ExecutionBackend`; ``workers=``/``cache=`` are deprecated
+    aliases).  With ``store``, the frontier is appended to the results
+    store (generator-seed provenance included) and the returned result
+    reflects the stored run id via :meth:`HuntResult.to_result_set`.
     """
     result_store = _store(store)
     if result_store is not None:
@@ -256,7 +275,7 @@ def hunt(
             oracle=oracle,
             min_regret=min_regret,
             shrink=shrink,
-            campaign=Campaign(workers=workers, cache=_trial_cache(cache)),
+            campaign=_campaign(backend, workers, cache),
         )
     except Exception:
         if result_store is not None:
@@ -302,6 +321,53 @@ def _trial_cache(cache: Union[bool, str, None]) -> Optional[TrialCache]:
     if isinstance(cache, str):
         return TrialCache(cache)
     return None
+
+
+BackendArg = Union[str, ExecutionBackend, None]
+
+
+def _campaign(
+    backend: BackendArg,
+    workers: Optional[int],
+    cache: Union[bool, str, None],
+    rng_ledger: bool = False,
+) -> Campaign:
+    """Resolve the ``backend=`` surface (and its deprecated aliases).
+
+    ``workers=`` and ``cache=`` keep working but emit a
+    ``DeprecationWarning`` and map onto the equivalent backend
+    (``workers=N`` -> serial or a process pool, ``cache=...`` -> a
+    :class:`TrialCache` wired into the backend).  Passing either
+    alongside ``backend=`` is a conflict error.
+    """
+    if backend is not None:
+        if workers is not None or cache is not None:
+            raise ValidationError(
+                "pass either backend= or the deprecated workers=/cache= "
+                "kwargs, not both"
+            )
+        return Campaign(
+            backend=resolve_backend(backend), rng_ledger=rng_ledger
+        )
+    if workers is not None:
+        warnings.warn(
+            "workers= is deprecated; pass backend='process:N' "
+            "(or 'serial') instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if cache is not None:
+        warnings.warn(
+            "cache= is deprecated; append '+cache[=DIR]' to the backend "
+            "spec (e.g. backend='process:4+cache') instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return Campaign(
+        workers=1 if workers is None else workers,
+        cache=_trial_cache(cache),
+        rng_ledger=rng_ledger,
+    )
 
 
 # -- typed result records -------------------------------------------------------------
@@ -479,7 +545,8 @@ def run_scenario(
     *,
     scale: Union[str, ExperimentScale, None] = None,
     trials: Optional[int] = None,
-    workers: int = 1,
+    backend: BackendArg = None,
+    workers: Optional[int] = None,
     cache: Union[bool, str, None] = None,
     params: Optional[ParamOverrides] = None,
     n: Optional[int] = None,
@@ -499,9 +566,13 @@ def run_scenario(
         scale: sizing preset ("quick" / "default" / "full") or a custom
             :class:`~repro.experiments.runner.ExperimentScale`.
         trials: seeded trials per protocol (default: scale-derived).
-        workers: campaign worker processes (name-based scenarios only).
-        cache: False/None = no on-disk cache, True = the default cache
-            directory, a string = that directory.
+        backend: execution backend — a spec string (``"serial"``,
+            ``"process:8"``, ``"shard:8"``, optional ``+cache[=DIR]``
+            suffix) or an :class:`ExecutionBackend` instance.
+            Name-based scenarios only.
+        workers: deprecated alias — maps to ``backend="process:N"``.
+        cache: deprecated alias — False/None = no on-disk cache, True =
+            the default cache directory, a string = that directory.
         params: per-protocol parameter overrides, keyed by protocol
             name or alias, e.g. ``{"two-phase": {"rounds": 40}}``.
         n / loss / crash / duration: scenario overrides (``n`` only for
@@ -511,13 +582,14 @@ def run_scenario(
         resolve_protocol(p).name for p in (protocols or default_protocols())
     )
     scale_obj = _scale(scale)
+    campaign = _campaign(backend, workers, cache)
 
     if isinstance(scenario, ScenarioSpec):
-        if workers > 1:
+        if campaign.workers > 1:
             raise ValidationError(
-                "a custom ScenarioSpec runs serially (workers=1): campaign "
-                "workers rebuild trials from the scenario *name*; register "
-                "the scenario or run by name to fan out"
+                "a custom ScenarioSpec runs serially (backend='serial'): "
+                "campaign workers rebuild trials from the scenario *name*; "
+                "register the scenario or run by name to fan out"
             )
         if n is not None:
             raise ValidationError(
@@ -525,7 +597,7 @@ def run_scenario(
                 "re-sizes the topology); resize the spec's TopologySpec "
                 "instead"
             )
-        if cache:
+        if campaign.cache is not None:
             raise ValidationError(
                 "a custom ScenarioSpec runs without the on-disk cache "
                 "(cache keys are built from name-based campaign specs); "
@@ -567,7 +639,6 @@ def run_scenario(
         for param, value in overrides.items():
             combo[f"{name}.{param}"] = value
 
-    campaign = Campaign(workers=workers, cache=_trial_cache(cache))
     report = scenario_reports(
         str(scenario),
         [combo],
@@ -605,7 +676,8 @@ def run_experiment(
     *,
     scale: Union[str, ExperimentScale, None] = None,
     params: Optional[Dict[str, object]] = None,
-    workers: int = 1,
+    backend: BackendArg = None,
+    workers: Optional[int] = None,
     cache: Union[bool, str, None] = None,
     store: Union[bool, str, ResultStore, None] = None,
     rng_ledger: bool = False,
@@ -618,10 +690,13 @@ def run_experiment(
             :class:`~repro.experiments.runner.ExperimentScale`.
         params: axis overrides, e.g. ``{"connectivity": (2, 4),
             "trials": 4}`` — see ``get_experiment(name).sweep_keys()``.
-        workers: campaign worker processes (1 = serial in-process; the
-            result is bit-identical either way).
-        cache: False/None = no on-disk trial cache, True = the default
-            cache directory, a string = that directory.
+        backend: execution backend — a spec string (``"serial"``,
+            ``"process:8"``, ``"shard:8"``, optional ``+cache[=DIR]``
+            suffix) or an :class:`ExecutionBackend` instance; the
+            result is bit-identical whichever backend runs it.
+        workers: deprecated alias — maps to ``backend="process:N"``.
+        cache: deprecated alias — False/None = no on-disk trial cache,
+            True = the default cache directory, a string = that one.
         store: where to append the result — None/False = do not persist,
             True = the default results store, a string = that JSONL
             path, or a :class:`~repro.results.ResultStore`.  When
@@ -644,9 +719,7 @@ def run_experiment(
     result_store = _store(store)
     if result_store is not None:
         result_store.check_writable()
-    campaign = Campaign(
-        workers=workers, cache=_trial_cache(cache), rng_ledger=rng_ledger
-    )
+    campaign = _campaign(backend, workers, cache, rng_ledger=rng_ledger)
     try:
         result = spec.run(
             scale=_scale(scale), params=params_obj, campaign=campaign

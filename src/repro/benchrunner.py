@@ -318,6 +318,31 @@ def bench_kv_replication(scale_name: str) -> Dict[str, float]:
     return {"wall_s": wall, "trials": float(trials)}
 
 
+def bench_campaign_throughput(scale_name: str) -> Dict[str, float]:
+    """Campaign engine + shard-queue overhead on a scenario trial grid.
+
+    Streams the partition-heal protocols-x-trials grid through a
+    Campaign on an in-process :class:`~repro.exec.ShardQueueBackend` —
+    content-keyed sharding, steal scheduling and the incremental
+    submission-order reorder buffer all included — so the bench times
+    the execution layer exactly the way ``repro scenario run`` drives
+    it, without multiprocessing spin-up noise.
+    """
+    from repro.exec import ShardQueueBackend
+    from repro.experiments.campaign import Campaign
+    from repro.scenario.run import compile_specs
+
+    trials = _sizes(scale_name)[2]
+    specs = compile_specs(
+        "partition-heal", ("adaptive", "gossip"), scale_name, trials
+    )
+    campaign = Campaign(backend=ShardQueueBackend(workers=1, shards=4))
+    start = time.perf_counter()
+    results = campaign.run(specs)
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "trials": float(len(results))}
+
+
 #: Registered benches in execution order.
 BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "engine-events": bench_engine_events,
@@ -328,6 +353,7 @@ BENCHES: Dict[str, Callable[[str], Dict[str, float]]] = {
     "scenario-hunt": bench_scenario_hunt,
     "membership-exchange": bench_membership_exchange,
     "kv-replication": bench_kv_replication,
+    "campaign-throughput": bench_campaign_throughput,
 }
 
 

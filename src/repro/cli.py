@@ -65,6 +65,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.errors import ValidationError
+from repro.exec import backend_specs, parse_backend
 from repro.experiments.campaign import Campaign, parse_sweeps
 from repro.experiments.registry import (
     ExperimentSpec,
@@ -96,7 +97,7 @@ from repro.util.tables import render_table
 #: Fixed subcommand names a registered experiment may never shadow.
 _RESERVED_COMMANDS = frozenset(
     ("list", "demo", "protocols", "experiments", "results", "campaign",
-     "scenario", "bench")
+     "scenario", "bench", "backends")
 )
 
 
@@ -154,11 +155,20 @@ def _add_campaign_options(cmd: argparse.ArgumentParser, sweep_help: str) -> None
         help="experiment size preset (default: REPRO_BENCH_SCALE or 'default')",
     )
     cmd.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "execution backend: serial, process[:N], shard[:N[:S]] — "
+            "see 'repro backends list' (default: process with all CPUs)"
+        ),
+    )
+    cmd.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="worker processes (default: all CPUs)",
+        help="(deprecated) worker processes; use --backend process:N",
     )
     cmd.add_argument(
         "--sweep",
@@ -444,6 +454,22 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    backends = sub.add_parser(
+        "backends",
+        help="campaign execution backends (list)",
+        description=(
+            "Inspect the registered execution backends.  A backend spec "
+            "is NAME[:ARG[:ARG]] with an optional '+cache[=DIR]' suffix "
+            "attaching the shared trial cache; pass it to --backend on "
+            "campaign-backed commands or backend= in repro.api.  Every "
+            "backend produces bit-identical results."
+        ),
+    )
+    backends_sub = backends.add_subparsers(
+        dest="backends_command", required=True
+    )
+    backends_sub.add_parser("list", help="list backends and spec syntax")
+
     scen = sub.add_parser(
         "scenario",
         help="declarative dynamic-environment scenarios (list/describe/run)",
@@ -533,8 +559,8 @@ def make_parser() -> argparse.ArgumentParser:
             "Fan a budget of generated scenarios through the campaign "
             "runner, score each by adaptive-vs-oracle regret, keep the "
             "top-K worst and shrink each find's timeline to a minimal "
-            "counterexample.  Bit-identical for a pinned seed at any "
-            "--workers count."
+            "counterexample.  Bit-identical for a pinned seed on any "
+            "--backend."
         ),
     )
     hunt_cmd.add_argument("--seed", default="0", metavar="SEED")
@@ -572,8 +598,15 @@ def make_parser() -> argparse.ArgumentParser:
         "--scale", choices=["quick", "default", "full"], default=None
     )
     hunt_cmd.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help=(
+            "execution backend: serial, process[:N], shard[:N[:S]] — "
+            "see 'repro backends list' (default: process with all CPUs)"
+        ),
+    )
+    hunt_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes (default: all CPUs)",
+        help="(deprecated) worker processes; use --backend process:N",
     )
     hunt_cmd.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -634,23 +667,47 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def _campaign_setup(args: argparse.Namespace):
-    """Shared --workers/--cache-dir/--no-cache handling of the
-    campaign-backed subcommands; returns ``(campaign, workers, cache)``."""
-    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    """Shared --backend/--cache-dir/--no-cache handling of the
+    campaign-backed subcommands; returns ``(campaign, workers, cache)``.
+
+    ``--workers N`` still works as a deprecated alias for
+    ``--backend process:N`` (with a stderr notice); combining the two
+    is an error.
+    """
+    backend_spec = getattr(args, "backend", None)
+    if args.workers is not None:
+        if backend_spec is not None:
+            raise ValidationError(
+                "pass --backend or the deprecated --workers, not both"
+            )
+        print(
+            "notice: --workers is deprecated; use --backend process:N",
+            file=sys.stderr,
+        )
     cache = None if args.no_cache else TrialCache(args.cache_dir)
-    campaign = Campaign(
-        workers=workers,
-        cache=cache,
-        rng_ledger=getattr(args, "rng_ledger", False),
-    )
-    return campaign, workers, cache
+    rng_ledger = getattr(args, "rng_ledger", False)
+    if backend_spec is not None:
+        campaign = Campaign(
+            backend=parse_backend(backend_spec),
+            cache=cache,
+            rng_ledger=rng_ledger,
+        )
+    else:
+        workers = (
+            args.workers if args.workers is not None else (os.cpu_count() or 1)
+        )
+        campaign = Campaign(
+            workers=workers, cache=cache, rng_ledger=rng_ledger
+        )
+    return campaign, campaign.workers, campaign.cache
 
 
 def _campaign_summary(campaign: Campaign, workers: int, cache) -> str:
     return (
         f"campaign: {campaign.executed} trials executed, "
         f"{campaign.cached} cache hits "
-        f"(workers={workers}, cache={cache.directory if cache else 'off'})"
+        f"(backend={campaign.backend.describe()}, "
+        f"cache={cache.directory if cache else 'off'})"
     )
 
 
@@ -1280,11 +1337,9 @@ def _run_scenario_hunt(args: argparse.Namespace, scale) -> int:
     from repro.scenario.adversarial import hunt
     from repro.scenario.registry import promote_scenario
 
-    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
-    cache = None if args.no_cache else TrialCache(args.cache_dir)
-    campaign = Campaign(workers=workers, cache=cache)
     store = ResultStore(args.store or None) if args.store is not None else None
     try:
+        campaign, workers, cache = _campaign_setup(args)
         if store is not None:
             store.check_writable()
         result = hunt(
@@ -1338,6 +1393,20 @@ def _run_scenario_hunt(args: argparse.Namespace, scale) -> int:
     return 0
 
 
+def _run_backends(args: argparse.Namespace) -> int:
+    """``repro backends list`` — registered execution backends."""
+    rows = [
+        [info.name, info.syntax, info.description]
+        for info in backend_specs()
+    ]
+    print(render_table(["backend", "spec syntax", "description"], rows))
+    print(
+        "\npass a spec to --backend (CLI) or backend= (repro.api); "
+        "append '+cache[=DIR]' to attach the shared trial cache"
+    )
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """``repro lint PATH...`` — the determinism static-analysis gate."""
     from repro.analysis.lint import format_report, lint_paths
@@ -1386,6 +1455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "backends":
+        return _run_backends(args)
     if args.command == "lint":
         return _run_lint(args)
     return _run_registry_experiment(args)

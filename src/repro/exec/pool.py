@@ -1,0 +1,53 @@
+"""Multiprocessing fan-out — the former ``Campaign._execute`` inlined pool.
+
+Workers use the ``spawn`` start method: child processes re-import the
+experiment modules and resolve the trial function by name, so no live
+simulator state ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.exec.backend import ExecutionBackend
+from repro.experiments.campaign import (
+    TrialResult,
+    TrialSpec,
+    _execute_keyed,
+    execute_spec,
+)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans trials out over a spawn-context process pool.
+
+    Results stream back in *completion* order (``imap_unordered``) so
+    every finished trial reaches the campaign's cache immediately
+    instead of queueing behind a slow sibling.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        super().__init__()
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def submit(
+        self, specs: Sequence[TrialSpec]
+    ) -> Iterator[Tuple[TrialSpec, TrialResult]]:
+        if not specs:
+            return
+        if self.workers == 1 or len(specs) == 1:
+            for spec in specs:
+                yield spec, execute_spec(spec)
+            return
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=min(self.workers, len(specs))) as pool:
+            yield from pool.imap_unordered(_execute_keyed, specs, chunksize=1)

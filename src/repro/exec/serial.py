@@ -1,0 +1,25 @@
+"""In-process serial execution — the reference backend.
+
+Every other backend is gated against this one: whatever a backend
+yields, the campaign's submission-order aggregation must reproduce the
+serial output bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.exec.backend import ExecutionBackend
+from repro.experiments.campaign import TrialResult, TrialSpec, execute_spec
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every trial in the calling process, in submission order."""
+
+    name = "serial"
+
+    def submit(
+        self, specs: Sequence[TrialSpec]
+    ) -> Iterator[Tuple[TrialSpec, TrialResult]]:
+        for spec in specs:
+            yield spec, execute_spec(spec)

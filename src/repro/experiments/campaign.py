@@ -4,8 +4,9 @@ The figure experiments all reduce to the same shape of work: a grid of
 *points* (connectivity x probability x topology ...), each point needing
 several independently seeded simulation trials, aggregated with
 :class:`repro.util.stats.OnlineStats`.  The seed runner executed that
-grid strictly serially; this module fans it out across worker processes
-while keeping the results **bit-identical** to serial execution:
+grid strictly serially; this module fans it out across execution
+backends while keeping the results **bit-identical** to serial
+execution:
 
 * every trial is described by a :class:`TrialSpec` — a pure function
   (named ``"package.module:function"``) plus JSON-able keyword
@@ -19,7 +20,10 @@ while keeping the results **bit-identical** to serial execution:
   keyed by the spec's content hash, so re-runs and interrupted campaigns
   resume for free (only never-finished trials execute).
 
-Workers use the ``spawn`` start method: child processes re-import the
+*How* trials execute is delegated to a pluggable
+:class:`~repro.exec.ExecutionBackend` (in-process serial, spawn-context
+process pool, or a work-stealing shard queue with simulated worker
+loss — see :mod:`repro.exec`).  Out-of-process workers re-import the
 experiment modules and resolve the trial function by name, so no live
 simulator state ever crosses a process boundary.
 """
@@ -27,14 +31,25 @@ simulator state ever crosses a process boundary.
 from __future__ import annotations
 
 import importlib
-import multiprocessing
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ValidationError
 from repro.util.cache import TrialCache, content_key
 from repro.util.rng import DrawLedger, ledger_scope
 from repro.util.stats import OnlineStats
+
+if TYPE_CHECKING:  # import cycle: repro.exec imports trial types from here
+    from repro.exec import ExecutionBackend
 
 #: Reserved result-key prefix carrying per-stream RNG draw counts from a
 #: ledgered trial back to the parent (stripped before aggregation).
@@ -158,48 +173,94 @@ def chunked(results: Sequence[TrialResult], size: int):
 
 
 class Campaign:
-    """Executes batches of :class:`TrialSpec` with caching and workers.
+    """Executes batches of :class:`TrialSpec` with caching and a backend.
 
     Args:
-        workers: worker process count; ``1`` (the default) runs every
-            trial in-process, which is what the plain figure CLI uses.
+        workers: deprecated-but-supported worker process count; ``1``
+            maps to the serial backend and ``N > 1`` to a process pool.
+            Mutually exclusive with ``backend``.
         cache: optional :class:`TrialCache`; when set, completed trials
             are persisted and later batches skip anything already on
             disk.  Cache writes happen in the parent as results arrive,
             so an interrupted campaign keeps everything that finished.
+            The cache is also wired into the backend so out-of-process
+            workers share it.
         rng_ledger: when true, every trial runs with an active
             :class:`~repro.util.rng.DrawLedger`; per-stream draw counts
             accumulate into :attr:`rng_draws` (summed over executed and
             cache-recovered trials alike) for provenance.  Ledgered
             trials cache under distinct content keys, so default runs
             stay byte-identical to a build without the ledger.
+        backend: an :class:`~repro.exec.ExecutionBackend` instance or a
+            spec string (``"serial"``, ``"process:8"``, ``"shard:8"``);
+            defaults to serial.
 
     The cumulative counters :attr:`executed` and :attr:`cached` track how
-    much work the campaign actually did versus recovered from disk.
+    much work the campaign actually did versus recovered from disk, and
+    :attr:`peak_buffered` records the largest number of out-of-order
+    results ever held back while restoring submission order.
     """
 
     def __init__(
         self,
-        workers: int = 1,
+        workers: Optional[int] = None,
         cache: Optional[TrialCache] = None,
         rng_ledger: bool = False,
+        backend: Union["str", "ExecutionBackend", None] = None,
     ) -> None:
-        if workers < 1:
-            raise ValidationError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
-        self.cache = cache
+        # deferred: repro.exec imports TrialSpec/execute_spec from here
+        from repro.exec import (
+            ProcessPoolBackend,
+            SerialBackend,
+            resolve_backend,
+        )
+
+        if backend is not None and workers is not None:
+            raise ValidationError(
+                "pass either workers= (deprecated) or backend=, not both"
+            )
+        if backend is None:
+            count = 1 if workers is None else workers
+            if count < 1:
+                raise ValidationError(f"workers must be >= 1, got {count}")
+            backend = (
+                SerialBackend() if count == 1 else ProcessPoolBackend(count)
+            )
+        else:
+            backend = resolve_backend(backend)
+        if cache is not None:
+            backend.cache = cache
+        self.backend = backend
+        self.workers = backend.workers
+        self.cache = backend.cache
         self.rng_ledger = rng_ledger
         self.executed = 0
         self.cached = 0
+        self.peak_buffered = 0
         self.rng_draws: Dict[str, int] = {}
 
     def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
         """Execute ``specs``; returns their results in submission order.
 
+        A materialized :meth:`run_stream` — see there for semantics.
+        """
+        return list(self.run_stream(specs))
+
+    def run_stream(self, specs: Sequence[TrialSpec]):
+        """Execute ``specs``, yielding results in submission order.
+
         Duplicate specs (same content key) execute once.  With a cache,
         hits are returned without executing; every fresh result is
         persisted the moment it arrives, so a crash or Ctrl-C part-way
         through loses only the in-flight trials.
+
+        Results are yielded *incrementally*: as the backend streams
+        completions (in any order), each one is either yielded straight
+        through or held in a small reorder buffer until every earlier
+        spec has been satisfied.  Buffered entries are dropped as soon
+        as their last duplicate is yielded and cache hits are re-read
+        lazily at yield time, so peak memory is bounded by the
+        out-of-orderness of the backend — not the campaign size.
         """
         if self.rng_ledger:
             specs = [
@@ -209,25 +270,51 @@ class Campaign:
                 for spec in specs
             ]
         order: List[str] = []
+        needs: Dict[str, int] = {}
         pending: List[TrialSpec] = []
-        pending_keys: set = set()
-        results: Dict[str, TrialResult] = {}
+        cached_keys: set = set()
         for spec in specs:
             key = spec.key()
             order.append(key)
-            if key in results or key in pending_keys:
+            needs[key] = needs.get(key, 0) + 1
+            if needs[key] > 1:
                 continue
             hit = self.cache.get(key) if self.cache is not None else None
             if hit is not None:
-                results[key] = hit
+                cached_keys.add(key)
                 self.cached += 1
+                self._fold_ledger(hit)
             else:
                 pending.append(spec)
-                pending_keys.add(key)
 
-        for spec, result in self._execute(pending):
+        buffer: Dict[str, TrialResult] = {}
+        cursor = 0
+
+        def take(key: str) -> TrialResult:
+            needs[key] -= 1
+            if key in buffer:
+                result = buffer[key]
+                if needs[key] == 0:
+                    del buffer[key]
+                return result
+            result = self.cache.get(key) if self.cache is not None else None
+            if result is None:
+                raise ValidationError(
+                    f"trial cache entry {key[:12]}... disappeared mid-run"
+                )
+            return result
+
+        def strip(result: TrialResult) -> TrialResult:
+            if not self.rng_ledger:
+                return result
+            return {
+                name: value
+                for name, value in result.items()
+                if not name.startswith(RNG_KEY_PREFIX)
+            }
+
+        for spec, result in self.backend.submit(pending):
             key = spec.key()
-            results[key] = result
             self.executed += 1
             if self.cache is not None:
                 self.cache.put(
@@ -235,44 +322,50 @@ class Campaign:
                     result,
                     context={"fn": spec.fn, "params": spec.kwargs()},
                 )
-        if self.rng_ledger:
-            # fold draw counts once per distinct trial (dedup-safe) and
-            # hand callers metric-only dicts, so aggregation never sees
-            # the rng.* bookkeeping keys
-            for result in results.values():
-                for name, value in result.items():
-                    if name.startswith(RNG_KEY_PREFIX):
-                        stream = name[len(RNG_KEY_PREFIX) :]
-                        self.rng_draws[stream] = (
-                            self.rng_draws.get(stream, 0) + int(value)
-                        )
-            return [
-                {
-                    name: value
-                    for name, value in results[key].items()
-                    if not name.startswith(RNG_KEY_PREFIX)
-                }
-                for key in order
-            ]
-        return [results[key] for key in order]
+            self._fold_ledger(result)
+            buffer[key] = result
+            self.peak_buffered = max(self.peak_buffered, len(buffer))
+            while cursor < len(order) and (
+                order[cursor] in buffer or order[cursor] in cached_keys
+            ):
+                yield strip(take(order[cursor]))
+                cursor += 1
+        while cursor < len(order):
+            key = order[cursor]
+            if key not in buffer and key not in cached_keys:
+                raise ValidationError(
+                    f"backend {self.backend.describe()!r} never returned "
+                    f"a result for trial {key[:12]}..."
+                )
+            yield strip(take(key))
+            cursor += 1
 
-    def _execute(self, pending: Sequence[TrialSpec]):
-        """Yield ``(spec, result)`` pairs as they complete.
+    def _fold_ledger(self, result: TrialResult) -> None:
+        """Accumulate one distinct trial's rng.* draw counts (ledgered runs)."""
+        if not self.rng_ledger:
+            return
+        for name, value in result.items():
+            if name.startswith(RNG_KEY_PREFIX):
+                stream = name[len(RNG_KEY_PREFIX) :]
+                self.rng_draws[stream] = (
+                    self.rng_draws.get(stream, 0) + int(value)
+                )
 
-        Serial execution yields in submission order; parallel execution
-        yields in *completion* order (``imap_unordered``) so every
-        finished trial reaches the cache immediately instead of queueing
-        behind a slow sibling — :meth:`run` reorders by content key.
+    def execution_record(self) -> Optional[Dict[str, object]]:
+        """Backend execution provenance, or ``None`` for unsharded runs.
+
+        Only sharded backends produce a record (shard ids, attempts,
+        executed-vs-cached per shard), so serial and pool provenance
+        JSON stays byte-identical to earlier builds.
         """
-        if not pending:
-            return
-        if self.workers == 1 or len(pending) == 1:
-            for spec in pending:
-                yield spec, execute_spec(spec)
-            return
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
-            yield from pool.imap_unordered(_execute_keyed, pending, chunksize=1)
+        records = self.backend.shard_records()
+        if not records:
+            return None
+        return {
+            "backend": self.backend.name,
+            "workers": self.backend.workers,
+            "shards": [record.to_json() for record in records],
+        }
 
     # -- aggregation ---------------------------------------------------------------
 

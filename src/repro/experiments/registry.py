@@ -380,6 +380,7 @@ class ExperimentSpec:
                 rng_ledger=(
                     dict(campaign.rng_draws) if campaign.rng_ledger else None
                 ),
+                execution=campaign.execution_record(),
             ),
         )
 

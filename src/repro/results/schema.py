@@ -99,6 +99,11 @@ class Provenance:
             None when the run was unledgered.  ``diff`` compares ledgers
             when both sides carry one, attributing a drift to the exact
             stream whose draw count diverged.
+        execution: optional execution-backend record (backend name,
+            worker count, per-shard attempts and executed-vs-cached
+            counts) from a sharded campaign; None for serial and pool
+            runs.  Purely informational — ``diff`` never compares it,
+            because any backend must produce bit-identical rows.
     """
 
     experiment: str
@@ -111,6 +116,7 @@ class Provenance:
     git: Optional[str] = None
     created_at: Optional[str] = None
     rng_ledger: Optional[Mapping[str, int]] = None
+    execution: Optional[Mapping[str, object]] = None
 
     @classmethod
     def capture(
@@ -120,6 +126,7 @@ class Provenance:
         scale: str = "",
         params: Optional[Mapping[str, object]] = None,
         rng_ledger: Optional[Mapping[str, int]] = None,
+        execution: Optional[Mapping[str, object]] = None,
     ) -> "Provenance":
         """Build a provenance record stamped with the ambient environment."""
         from repro import __version__
@@ -137,6 +144,7 @@ class Provenance:
                 if rng_ledger is None
                 else {key: int(rng_ledger[key]) for key in sorted(rng_ledger)}
             ),
+            execution=None if execution is None else dict(execution),
         )
 
     def to_json(self) -> Dict[str, object]:
@@ -158,11 +166,15 @@ class Provenance:
                 key: int(self.rng_ledger[key])
                 for key in sorted(self.rng_ledger)
             }
+        # same contract for the backend record: only sharded runs carry it
+        if self.execution is not None:
+            payload["execution"] = dict(self.execution)
         return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "Provenance":
         raw_ledger = payload.get("rng_ledger")
+        raw_execution = payload.get("execution")
         return cls(
             experiment=str(payload.get("experiment", "")),
             artefact=str(payload.get("artefact", "")),
@@ -180,6 +192,11 @@ class Provenance:
                     str(key): int(value)
                     for key, value in dict(raw_ledger).items()  # type: ignore[call-overload]
                 }
+            ),
+            execution=(
+                None
+                if raw_execution is None
+                else dict(raw_execution)  # type: ignore[call-overload]
             ),
         )
 

@@ -24,9 +24,10 @@ breaks ties toward scenarios where adaptation also *overpays* in traffic.
 Determinism: the search phase submits name-based campaign specs
 (``gen:<seed>:<index>``) and the shrink phase submits canonical-JSON
 spec payloads, all through one :class:`~repro.experiments.campaign.Campaign`
-whose results come back in submission order regardless of worker count —
-so a hunt with a pinned seed is bit-identical across ``--workers 1`` and
-``--workers N``, including the minimized timelines.
+whose results come back in submission order regardless of the execution
+backend — so a hunt with a pinned seed is bit-identical across
+``--backend serial``, ``--backend process:N`` and ``--backend shard:N``
+(and the deprecated ``--workers N``), including the minimized timelines.
 """
 
 from __future__ import annotations
@@ -370,7 +371,7 @@ def hunt(
     if top < 1:
         raise ValidationError(f"top must be >= 1, got {top}")
     scale = scale or current_scale()
-    campaign = campaign or Campaign(workers=1, cache=None)
+    campaign = campaign or Campaign()
     n_trials = scenario_trials(scale, trials)
     generator = ScenarioGenerator(seed, scale)
     specs = [generator.generate(index) for index in range(budget)]

@@ -14,10 +14,11 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
-from repro.experiments.campaign import Campaign, TrialSpec, chunked
+from repro.experiments.campaign import Campaign, TrialSpec
 from repro.experiments.runner import ExperimentScale, current_scale, scaled
 from repro.protocols.registry import (
     default_protocols,
@@ -281,8 +282,9 @@ def scenario_reports(
     """Run one scenario for several sweep combinations in one batch.
 
     Every combination's ``protocols x trials`` specs go through a single
-    :meth:`Campaign.run`, so worker pools spin up once and stragglers of
-    one combination overlap with the next instead of forming barriers.
+    :meth:`Campaign.run_stream`, so worker pools spin up once and
+    stragglers of one combination overlap with the next instead of
+    forming barriers.
     Each ``combo`` may carry ``n``, ``loss``, ``crash``, ``duration``,
     ``trials`` and dotted per-protocol parameter keys
     (``gossip.rounds``); results are sliced back per combination, so the
@@ -337,13 +339,16 @@ def scenario_reports(
         prepared.append((spec, trials, display, len(specs)))
         all_specs.extend(specs)
 
-    results = campaign.run(all_specs)
+    # consume the campaign's stream incrementally: each protocol's
+    # trials aggregate as soon as they arrive, so peak memory holds one
+    # chunk (plus the backend's reorder buffer) instead of every
+    # TrialResult of the whole batch.  Submission order is combo-major
+    # then protocol-major, so consecutive islice() chunks line up
+    # exactly with the old materialize-then-slice aggregation.
+    stream = campaign.run_stream(all_specs)
 
     reports: List[ScenarioReport] = []
-    cursor = 0
     for spec, trials, overrides, count in prepared:
-        slice_ = results[cursor : cursor + count]
-        cursor += count
         report = ScenarioReport(
             scenario=scenario,
             description=spec.description,
@@ -351,7 +356,13 @@ def scenario_reports(
             trials=trials,
             overrides=overrides,
         )
-        for protocol, chunk in zip(protocols, chunked(slice_, trials)):
+        for protocol in protocols:
+            chunk = list(islice(stream, trials))
+            if len(chunk) != trials:
+                raise ValidationError(
+                    f"campaign stream ended early: expected {trials} "
+                    f"trials for {protocol!r}, got {len(chunk)}"
+                )
             report.rows.append(protocol_row(protocol, chunk))
         reports.append(report)
     return reports

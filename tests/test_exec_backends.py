@@ -1,0 +1,430 @@
+"""Tests for the pluggable execution backends (repro.exec).
+
+Covers the backend matrix bit-identity guarantee (serial == process ==
+shard at any shard count and steal schedule), worker-loss resume with
+zero lost trials and correct per-shard attempt provenance, the
+spec-string grammar, the deprecated ``workers=``/``cache=`` kwarg
+mapping, the streaming reorder buffer's memory cap, and the CLI
+surface (``--backend``, ``repro backends list``).
+"""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.exec import (
+    FAULTS_ENV,
+    FaultPlan,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardQueueBackend,
+    parse_backend,
+    resolve_backend,
+)
+from repro.experiments.campaign import Campaign, TrialSpec
+from repro.experiments.figure5 import CONVERGENCE_FN
+from repro.results.schema import Provenance, diff_result_sets
+from repro.util.cache import TrialCache
+
+
+def _convergence_spec(trial: int, deadline: float = 1200.0) -> TrialSpec:
+    return TrialSpec.make(
+        CONVERGENCE_FN,
+        n=8,
+        connectivity=2,
+        crash=0.0,
+        loss=0.0,
+        deadline=deadline,
+        trial=trial,
+    )
+
+
+def _specs(count: int):
+    return [_convergence_spec(trial) for trial in range(count)]
+
+
+class TestSpecStrings:
+    def test_serial(self):
+        backend = parse_backend("serial")
+        assert isinstance(backend, SerialBackend)
+        assert backend.describe() == "serial"
+
+    def test_process_workers(self):
+        backend = parse_backend("process:8")
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 8
+        assert backend.describe() == "process:8"
+
+    def test_shard_workers_and_shards(self):
+        backend = parse_backend("shard:4:32")
+        assert isinstance(backend, ShardQueueBackend)
+        assert backend.workers == 4
+        assert backend.shards == 32
+        assert backend.describe() == "shard:4:32"
+
+    def test_cache_suffix(self, tmp_path):
+        backend = parse_backend(f"serial+cache={tmp_path}")
+        assert backend.cache is not None
+        assert backend.cache.directory == str(tmp_path)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            parse_backend("threads:4")
+
+    def test_did_you_mean(self):
+        with pytest.raises(ValidationError, match="did you mean 'shard'"):
+            parse_backend("shards:4")
+
+    def test_non_integer_arg(self):
+        with pytest.raises(ValidationError, match="not an integer"):
+            parse_backend("process:many")
+
+    def test_too_many_args(self):
+        with pytest.raises(ValidationError, match="at most"):
+            parse_backend("serial:4")
+
+    def test_unknown_suffix(self):
+        with pytest.raises(ValidationError, match="suffix"):
+            parse_backend("serial+turbo")
+
+    def test_resolve_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(ValidationError, match="ExecutionBackend"):
+            resolve_backend(4)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValidationError, match="workers must be >= 1"):
+            parse_backend("shard:0")
+
+
+class TestBackendMatrix:
+    """serial == process == shard, bit for bit, at any schedule."""
+
+    def test_shard_matches_serial_inline(self):
+        specs = _specs(6)
+        serial = Campaign(backend="serial").run(specs)
+        for shards in (1, 2, 3, 5, 7):
+            backend = ShardQueueBackend(workers=2, shards=shards, inline=True)
+            assert Campaign(backend=backend).run(specs) == serial
+
+    def test_shard_matches_serial_spawn(self):
+        # one real spawn-backed run: shards execute in worker processes
+        specs = _specs(4)
+        serial = Campaign(backend="serial").run(specs)
+        backend = ShardQueueBackend(workers=2, shards=4, inline=False)
+        assert Campaign(backend=backend).run(specs) == serial
+
+    def test_process_matches_serial(self):
+        specs = _specs(4)
+        serial = Campaign(backend="serial").run(specs)
+        assert Campaign(backend="process:2").run(specs) == serial
+
+    def test_empty_batch(self):
+        backend = ShardQueueBackend(workers=2, inline=True)
+        assert Campaign(backend=backend).run([]) == []
+        assert backend.shard_records() == []
+
+
+class TestWorkerLoss:
+    def test_resume_recovers_from_cache(self, tmp_path):
+        specs = _specs(6)
+        serial = Campaign(backend="serial").run(specs)
+        backend = ShardQueueBackend(
+            workers=2,
+            shards=3,
+            cache=TrialCache(str(tmp_path)),
+            fault_injector=FaultPlan.parse("2:1:1"),
+            inline=True,
+        )
+        campaign = Campaign(backend=backend)
+        assert campaign.run(specs) == serial  # zero lost trials
+        records = {r.shard: r for r in backend.shard_records()}
+        dead = records[2]
+        assert dead.attempts == 2
+        # the trial finished before the death was cached by the dying
+        # worker and recovered — not recomputed — on retry
+        assert dead.cached == 1
+        assert sum(r.executed for r in records.values()) == len(specs)
+
+    def test_resume_without_cache_recomputes(self):
+        specs = _specs(6)
+        serial = Campaign(backend="serial").run(specs)
+        backend = ShardQueueBackend(
+            workers=2,
+            shards=3,
+            fault_injector=FaultPlan.parse("2:1:1"),
+            inline=True,
+        )
+        assert Campaign(backend=backend).run(specs) == serial
+        records = {r.shard: r for r in backend.shard_records()}
+        assert records[2].attempts == 2
+        # one trial was computed, thrown away with the worker, and
+        # computed again by the retry
+        assert sum(r.executed for r in backend.shard_records()) == len(specs) + 1
+
+    def test_death_after_finish_before_report(self):
+        specs = _specs(6)
+        serial = Campaign(backend="serial").run(specs)
+        backend = ShardQueueBackend(
+            workers=2,
+            shards=3,
+            fault_injector=FaultPlan.parse("1:1:99"),
+            inline=True,
+        )
+        assert Campaign(backend=backend).run(specs) == serial
+        records = {r.shard: r for r in backend.shard_records()}
+        assert records[1].attempts == 2
+
+    def test_repeated_deaths_eventually_give_up(self):
+        # a plan that kills every attempt stops being consulted after
+        # MAX_FAULT_ATTEMPTS, so the campaign still completes
+        specs = _specs(4)
+        serial = Campaign(backend="serial").run(specs)
+
+        def always_dies(shard, attempt):
+            return 0
+
+        backend = ShardQueueBackend(
+            workers=1, shards=2, fault_injector=always_dies, inline=True
+        )
+        assert Campaign(backend=backend).run(specs) == serial
+        assert all(r.attempts >= 2 for r in backend.shard_records())
+
+    def test_env_fault_plan(self, monkeypatch):
+        specs = _specs(4)
+        serial = Campaign(backend="serial").run(specs)
+        monkeypatch.setenv(FAULTS_ENV, "0:1:0;1:1:0")
+        backend = ShardQueueBackend(workers=2, shards=2, inline=True)
+        assert Campaign(backend=backend).run(specs) == serial
+        assert any(r.attempts == 2 for r in backend.shard_records())
+
+    def test_fault_plan_parse_errors(self):
+        with pytest.raises(ValidationError, match="shard:attempt:completed"):
+            FaultPlan.parse("0:1")
+        with pytest.raises(ValidationError, match="non-integer"):
+            FaultPlan.parse("a:b:c")
+
+
+class TestStreaming:
+    """The materialize-then-aggregate memory bug stays fixed."""
+
+    def test_serial_stream_buffers_at_most_one(self):
+        specs = _specs(5)
+        campaign = Campaign(backend="serial")
+        streamed = list(campaign.run_stream(specs))
+        assert streamed == Campaign(backend="serial").run(specs)
+        assert campaign.peak_buffered <= 1
+
+    def test_stream_preserves_order_and_output(self):
+        specs = _specs(5)
+        reference = Campaign(backend="serial").run(specs)
+        backend = ShardQueueBackend(workers=2, shards=3, inline=True)
+        assert list(Campaign(backend=backend).run_stream(specs)) == reference
+
+    def test_duplicates_and_cache_hits_stream(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        specs = _specs(3)
+        first = Campaign(backend="serial", cache=cache).run(specs)
+        campaign = Campaign(backend="serial", cache=cache)
+        again = campaign.run(specs + specs[:1])
+        assert again == first + first[:1]
+        assert campaign.cached == 3
+        assert campaign.executed == 0
+
+
+class TestCampaignBackendParam:
+    def test_workers_and_backend_conflict(self):
+        with pytest.raises(ValidationError, match="not both"):
+            Campaign(workers=2, backend="serial")
+
+    def test_workers_zero_still_rejected(self):
+        with pytest.raises(ValidationError, match="workers must be >= 1"):
+            Campaign(workers=0)
+
+    def test_workers_map_to_backends(self):
+        assert isinstance(Campaign(workers=1).backend, SerialBackend)
+        assert isinstance(Campaign(workers=3).backend, ProcessPoolBackend)
+
+    def test_cache_kwarg_wires_into_backend(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        campaign = Campaign(backend="serial", cache=cache)
+        assert campaign.backend.cache is cache
+        assert campaign.cache is cache
+
+    def test_execution_record_only_for_sharded_runs(self):
+        serial = Campaign(backend="serial")
+        serial.run(_specs(2))
+        assert serial.execution_record() is None
+        backend = ShardQueueBackend(workers=1, shards=2, inline=True)
+        sharded = Campaign(backend=backend)
+        sharded.run(_specs(2))
+        record = sharded.execution_record()
+        assert record["backend"] == "shard"
+        assert all(s["attempts"] == 1 for s in record["shards"])
+
+
+class TestApiDeprecations:
+    PARAMS = {"crash": [0.05], "connectivity": [2], "trials": [1]}
+
+    def test_workers_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="workers= is deprecated"):
+            result = api.run_experiment(
+                "figure4a", scale="quick", params=self.PARAMS, workers=1
+            )
+        assert len(result.rows) == 1
+
+    def test_cache_kwarg_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="cache= is deprecated"):
+            api.run_experiment(
+                "figure4a",
+                scale="quick",
+                params=self.PARAMS,
+                cache=str(tmp_path),
+            )
+
+    def test_backend_and_workers_conflict(self):
+        with pytest.raises(ValidationError, match="not both"):
+            api.run_experiment(
+                "figure4a", scale="quick", backend="serial", workers=2
+            )
+
+    def test_backend_kwarg_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.run_experiment(
+                "figure4a",
+                scale="quick",
+                params=self.PARAMS,
+                backend="serial",
+            )
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_backend_matches_deprecated_workers(self):
+        with pytest.warns(DeprecationWarning):
+            old = api.run_experiment(
+                "figure4a", scale="quick", params=self.PARAMS, workers=1
+            )
+        new = api.run_experiment(
+            "figure4a", scale="quick", params=self.PARAMS, backend="serial"
+        )
+        assert old.rows == new.rows
+
+    def test_run_scenario_backend_instance(self):
+        backend = ShardQueueBackend(workers=1, shards=2, inline=True)
+        result = api.run_scenario(
+            "partition-heal",
+            ("gossip",),
+            scale="quick",
+            trials=1,
+            backend=backend,
+        )
+        reference = api.run_scenario(
+            "partition-heal", ("gossip",), scale="quick", trials=1
+        )
+        assert result.rows == reference.rows
+
+    def test_custom_spec_rejects_parallel_backend(self):
+        spec = api.get_scenario("partition-heal", "quick")
+        with pytest.raises(ValidationError, match="serially"):
+            api.run_scenario(spec, ("flooding",), backend="shard:4", trials=1)
+
+    def test_custom_spec_rejects_backend_cache(self, tmp_path):
+        spec = api.get_scenario("partition-heal", "quick")
+        with pytest.raises(ValidationError, match="on-disk cache"):
+            api.run_scenario(
+                spec,
+                ("flooding",),
+                backend=f"serial+cache={tmp_path}",
+                trials=1,
+            )
+
+
+class TestProvenance:
+    PARAMS = {"crash": [0.05], "connectivity": [2], "trials": [1]}
+
+    def _run(self, backend):
+        return api.run_experiment(
+            "figure4a", scale="quick", params=self.PARAMS, backend=backend
+        )
+
+    def test_shard_run_carries_execution_record(self):
+        backend = ShardQueueBackend(workers=1, shards=2, inline=True)
+        result = self._run(backend)
+        assert result.provenance.execution is not None
+        assert result.provenance.execution["backend"] == "shard"
+
+    def test_serial_run_has_no_execution_record(self):
+        result = self._run("serial")
+        assert result.provenance.execution is None
+        assert "execution" not in result.provenance.to_json()
+
+    def test_execution_record_round_trips(self):
+        backend = ShardQueueBackend(workers=1, shards=2, inline=True)
+        provenance = self._run(backend).provenance
+        rebuilt = Provenance.from_json(provenance.to_json())
+        assert rebuilt.execution == provenance.execution
+
+    def test_shard_vs_serial_diff_clean(self):
+        backend = ShardQueueBackend(workers=1, shards=2, inline=True)
+        diff = diff_result_sets(
+            self._run("serial"), self._run(backend), tolerance=0.0
+        )
+        assert diff.clean, diff.render()
+
+
+class TestCli:
+    def test_backends_list(self, capsys):
+        assert main(["backends", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+        assert "process[:N]" in out
+        assert "shard[:N[:S]]" in out
+
+    def test_backend_flag(self, capsys):
+        code = main(
+            [
+                "campaign", "figure4a", "--scale", "quick",
+                "--backend", "serial", "--no-cache",
+                "--sweep", "crash=0.05", "--sweep", "connectivity=2",
+                "--sweep", "trials=1",
+            ]
+        )
+        assert code == 0
+        assert "backend=serial" in capsys.readouterr().out
+
+    def test_workers_flag_prints_deprecation_notice(self, capsys):
+        code = main(
+            [
+                "campaign", "figure4a", "--scale", "quick",
+                "--workers", "1", "--no-cache",
+                "--sweep", "crash=0.05", "--sweep", "connectivity=2",
+                "--sweep", "trials=1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "--workers is deprecated" in captured.err
+        assert "backend=serial" in captured.out
+
+    def test_backend_and_workers_conflict(self, capsys):
+        code = main(
+            [
+                "campaign", "figure4a",
+                "--backend", "serial", "--workers", "2",
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_backend_spec(self, capsys):
+        code = main(["campaign", "figure4a", "--backend", "threads"])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
